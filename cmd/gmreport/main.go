@@ -1,0 +1,144 @@
+// Command gmreport regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gmreport -exp fig7 -profile bench
+//	gmreport -exp all -profile small > report.txt
+//	gmreport -exp fig2,fig3,tab4 -kernels pr,cc -graphs kron,urand
+//
+// Every experiment prints the same rows/series the paper's
+// corresponding artefact reports; EXPERIMENTS.md records a reference
+// run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphmem"
+	"graphmem/internal/harness"
+)
+
+var allExperiments = []string{
+	"tab1", "tab2", "tab3", "tab4",
+	"fig2", "fig3", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "tau", "fig13", "fig14", "energy",
+}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(allExperiments, ",")+") or 'all'")
+	profileName := flag.String("profile", "small", "scale profile: bench|small|full")
+	kernelsFlag := flag.String("kernels", "", "restrict to these kernels (comma separated)")
+	graphsFlag := flag.String("graphs", "", "restrict to these graphs (comma separated)")
+	mixes := flag.Int("mixes", 0, "override the number of fig14 mixes")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	profile, err := graphmem.ProfileByName(*profileName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmreport:", err)
+		os.Exit(1)
+	}
+	if *mixes > 0 {
+		profile.Mixes = *mixes
+	}
+	wb := graphmem.NewWorkbench(profile)
+	if !*quiet {
+		wb.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	subset := subsetFromFlags(*kernelsFlag, *graphsFlag)
+
+	var ids []string
+	if *exp == "all" {
+		ids = allExperiments
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		if err := run(wb, strings.TrimSpace(id), subset); err != nil {
+			fmt.Fprintln(os.Stderr, "gmreport:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// subsetFromFlags builds the workload filter; nil means all 36.
+func subsetFromFlags(kernelsFlag, graphsFlag string) []graphmem.WorkloadID {
+	if kernelsFlag == "" && graphsFlag == "" {
+		return nil
+	}
+	want := func(list string, v string) bool {
+		if list == "" {
+			return true
+		}
+		for _, x := range strings.Split(list, ",") {
+			if strings.TrimSpace(x) == v {
+				return true
+			}
+		}
+		return false
+	}
+	var out []graphmem.WorkloadID
+	for _, id := range graphmem.AllWorkloads() {
+		if want(kernelsFlag, id.Kernel) && want(graphsFlag, id.Graph) {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "gmreport: subset filter matched no workloads")
+		os.Exit(1)
+	}
+	return out
+}
+
+func run(wb *harness.Workbench, id string, subset []graphmem.WorkloadID) error {
+	out := os.Stdout
+	switch id {
+	case "tab1":
+		wb.Tab1().Render(out)
+	case "tab2":
+		wb.Tab2().Render(out)
+	case "tab3":
+		wb.Tab3().Render(out)
+	case "tab4":
+		wb.Tab4(1).Render(out)
+	case "fig2":
+		wb.Fig2(subset).Table().Render(out)
+	case "fig3":
+		id := graphmem.WorkloadID{Kernel: "cc", Graph: "friendster"}
+		if subset != nil {
+			id = subset[0]
+		}
+		wb.Fig3(id).Table().Render(out)
+	case "fig7":
+		wb.Fig7(subset).Table().Render(out)
+	case "fig8":
+		wb.Fig89(subset).Fig8Table().Render(out)
+	case "fig9":
+		wb.Fig89(subset).Fig9Table().Render(out)
+	case "fig10":
+		wb.Fig10(subset).Table().Render(out)
+	case "fig11":
+		wb.Fig11(subset).Table().Render(out)
+	case "fig12":
+		wb.Fig12(subset).Table().Render(out)
+	case "tau":
+		wb.Tau(subset, nil).Table().Render(out)
+	case "fig13":
+		wb.Fig13(subset).Table().Render(out)
+	case "energy":
+		wb.Energy(subset).Table().Render(out)
+	case "fig14":
+		var mixes [][]graphmem.WorkloadID
+		if subset != nil {
+			mixes = graphmem.GenerateMixes(subset, wb.Profile.Mixes, 14)
+		}
+		wb.Fig14(mixes).Table().Render(out)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

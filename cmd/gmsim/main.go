@@ -1,0 +1,105 @@
+// Command gmsim runs one workload on one machine configuration and
+// prints the detailed statistics — the single-run entry point into the
+// simulator.
+//
+// Usage:
+//
+//	gmsim -kernel pr -graph kron -config sdclp -profile bench
+//	gmsim -kernel cc -graph friendster -config baseline -measure 5000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphmem"
+)
+
+func configByName(base graphmem.Config, name string) (graphmem.Config, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "":
+		return base, nil
+	case "sdclp", "sdc+lp":
+		return base.WithSDCLP(), nil
+	case "topt", "t-opt":
+		return base.WithTOPT(), nil
+	case "popt", "p-opt":
+		return base.WithPOPT(), nil
+	case "adaptive":
+		return base.WithAdaptiveLP(), nil
+	case "distill":
+		return base.WithDistill(), nil
+	case "l1diso", "l1d40kb":
+		return base.WithBigL1D(), nil
+	case "2xllc":
+		return base.With2xLLC(), nil
+	case "expert":
+		return base.WithExpert(), nil
+	case "victim":
+		return base.WithVictimCache(8), nil
+	case "rrip", "srrip":
+		return base.WithRRIP(), nil
+	case "bypass":
+		return base.WithBypassOnly(), nil
+	default:
+		return base, fmt.Errorf("unknown config %q (baseline|sdclp|topt|popt|distill|l1diso|2xllc|expert|adaptive|victim|rrip|bypass)", name)
+	}
+}
+
+func main() {
+	kernel := flag.String("kernel", "pr", "kernel: bc|bfs|cc|pr|tc|sssp (or triad|matvec|stencil with -graph reg)")
+	graphName := flag.String("graph", "kron", "input graph: web|road|twitter|kron|urand|friendster|reg")
+	configName := flag.String("config", "baseline", "machine configuration")
+	profileName := flag.String("profile", "bench", "scale profile: bench|small|full")
+	warmup := flag.Int64("warmup", 0, "override warm-up instructions")
+	measure := flag.Int64("measure", 0, "override measured instructions")
+	verbose := flag.Bool("v", false, "log run progress")
+	flag.Parse()
+
+	profile, err := graphmem.ProfileByName(*profileName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmsim:", err)
+		os.Exit(1)
+	}
+	if *warmup > 0 {
+		profile.Warmup = *warmup
+	}
+	if *measure > 0 {
+		profile.Measure = *measure
+	}
+	wb := graphmem.NewWorkbench(profile)
+	if *verbose {
+		wb.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	}
+
+	cfg, err := configByName(profile.BaseConfig(1), *configName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmsim:", err)
+		os.Exit(1)
+	}
+	id := graphmem.WorkloadID{Kernel: *kernel, Graph: *graphName}
+	res := wb.RunSingle(cfg, id)
+	s := &res.Stats
+
+	fmt.Printf("workload    %s\n", id)
+	fmt.Printf("config      %s (%s profile)\n", cfg.Name, profile.Name)
+	fmt.Printf("instructions %d  cycles %d  IPC %.3f\n", s.Instructions, s.Cycles, s.IPC())
+	fmt.Printf("loads %d  stores %d  avg load latency %.1f cycles\n", s.Loads, s.Stores, s.AvgLoadLatency())
+	fmt.Printf("MPKI        L1D %.1f  SDC %.1f  L2C %.1f  LLC %.1f\n",
+		s.L1D.MPKI(s.Instructions), s.SDC.MPKI(s.Instructions),
+		s.L2.MPKI(s.Instructions), s.LLC.MPKI(s.Instructions))
+	fmt.Printf("served by   L1D %d  SDC %d  L2 %d  LLC %d  DRAM %d\n",
+		s.ServedL1D, s.ServedSDC, s.ServedL2, s.ServedLLC, s.ServedDRAM)
+	fmt.Printf("TLB         DTLB miss %.2f%%  STLB miss %.2f%%\n",
+		s.DTLB.MissRate()*100, s.STLB.MissRate()*100)
+	if s.LPPredAverse+s.LPPredFriendly > 0 {
+		fmt.Printf("LP          averse %d  friendly %d  table misses %d (%.1f%% averse)\n",
+			s.LPPredAverse, s.LPPredFriendly, s.LPTableMisses,
+			100*float64(s.LPPredAverse)/float64(s.LPPredAverse+s.LPPredFriendly))
+	}
+	fmt.Printf("DRAM        reads %d  writes %d  row-hit %.1f%%\n",
+		s.DRAMReads, s.DRAMWrites,
+		100*float64(s.DRAMRowHits)/float64(1+s.DRAMRowHits+s.DRAMRowMisses))
+}

@@ -1,0 +1,3 @@
+module graphmem
+
+go 1.22

@@ -1,0 +1,154 @@
+// Package graphmem is a Go reproduction of "Practically Tackling Memory
+// Bottlenecks of Graph-Processing Workloads" (Jamet et al., IPDPS
+// 2024): the Side Data Cache (SDC) + Large Predictor (LP)
+// microarchitecture proposal, the ChampSim-style simulation substrate
+// it is evaluated on, the GAP graph kernels and synthetic inputs that
+// drive it, and a harness regenerating every table and figure of the
+// paper's evaluation.
+//
+// The package is a façade over the internal packages; the typical entry
+// points are:
+//
+//	profile, _ := graphmem.ProfileByName("small")
+//	wb := graphmem.NewWorkbench(profile)
+//	fig7 := wb.Fig7(nil)           // all 36 workloads, 6 configurations
+//	fig7.Table().Render(os.Stdout)
+//
+// or, for a single simulation:
+//
+//	cfg := graphmem.TableI(1).WithSDCLP()
+//	res := wb.RunSingle(cfg, graphmem.WorkloadID{Kernel: "pr", Graph: "kron"})
+//	fmt.Println(res.IPC())
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package graphmem
+
+import (
+	corepkg "graphmem/internal/core"
+	"graphmem/internal/graph"
+	"graphmem/internal/harness"
+	"graphmem/internal/kernels"
+	"graphmem/internal/mem"
+	"graphmem/internal/sim"
+	"graphmem/internal/trace"
+)
+
+// Re-exported core types. The aliases keep the full method sets.
+type (
+	// Config is a complete machine configuration (Table I plus the
+	// paper's variants).
+	Config = sim.Config
+	// Workload binds a prepared kernel instance to a core slot.
+	Workload = sim.Workload
+	// Result is a single-core simulation outcome.
+	Result = sim.Result
+	// MultiResult is a multi-core simulation outcome.
+	MultiResult = sim.MultiResult
+	// Workbench caches graphs and runs for one reproduction profile.
+	Workbench = harness.Workbench
+	// Profile is a reproduction scale (bench / small / full).
+	Profile = harness.Profile
+	// WorkloadID names a kernel x graph combination.
+	WorkloadID = harness.WorkloadID
+	// Table is a renderable experiment result.
+	Table = harness.Table
+	// Graph is the CSR/CSC sparse graph type.
+	Graph = graph.Graph
+	// Space is a per-core synthetic address-space allocator.
+	Space = mem.Space
+	// Tracer is the instrumentation handle kernels emit accesses to.
+	Tracer = trace.Tracer
+	// KernelInstance is a kernel prepared on a concrete graph.
+	KernelInstance = kernels.Instance
+	// BudgetEntry is one row of the Table IV hardware budget.
+	BudgetEntry = corepkg.BudgetEntry
+)
+
+// TableI returns the paper's baseline machine configuration for the
+// given core count.
+func TableI(cores int) Config { return sim.TableI(cores) }
+
+// NewWorkbench creates a workbench for a profile.
+func NewWorkbench(p Profile) *Workbench { return harness.NewWorkbench(p) }
+
+// ProfileByName resolves "bench", "small" (default) or "full".
+func ProfileByName(name string) (Profile, error) { return harness.ProfileByName(name) }
+
+// BenchProfile returns the fast, shrunk-hierarchy profile.
+func BenchProfile() Profile { return harness.Bench() }
+
+// SmallProfile returns the default Table-I-machine profile.
+func SmallProfile() Profile { return harness.Small() }
+
+// FullProfile returns the largest supported profile.
+func FullProfile() Profile { return harness.Full() }
+
+// AllWorkloads lists the 36 kernel x graph combinations.
+func AllWorkloads() []WorkloadID { return harness.AllWorkloads() }
+
+// KernelNames lists the six GAP kernels in Table II order.
+func KernelNames() []string { return kernels.Names() }
+
+// GraphNames lists the six inputs in Table III order.
+func GraphNames() []string { return harness.GraphNames }
+
+// RunSingleCore simulates one workload alone on the given machine.
+func RunSingleCore(cfg Config, w Workload) *Result { return sim.RunSingleCore(cfg, w) }
+
+// RunMultiCore simulates a multi-programmed mix sharing one machine.
+func RunMultiCore(cfg Config, ws []Workload) *MultiResult { return sim.RunMultiCore(cfg, ws) }
+
+// NewSpace creates the synthetic address space for a core slot.
+func NewSpace(core int) *Space { return mem.NewSpace(core) }
+
+// NewKernel prepares the named GAP kernel on g in space (e.g. "pr").
+func NewKernel(name string, g *Graph, space *Space) KernelInstance {
+	build, ok := kernels.Registry()[name]
+	if !ok {
+		panic("graphmem: unknown kernel " + name)
+	}
+	return build(g, space)
+}
+
+// MakeWorkload bundles a prepared kernel into a schedulable workload.
+func MakeWorkload(name string, inst KernelInstance, space *Space) Workload {
+	return Workload{Name: name, Inst: inst, Space: space}
+}
+
+// GenerateMixes draws deterministic 4-thread workload mixes, as the
+// multi-core evaluation does.
+func GenerateMixes(pool []WorkloadID, n int, seed uint64) [][]WorkloadID {
+	return harness.GenerateMixes(pool, n, seed)
+}
+
+// Budget computes the Table IV per-core hardware budget.
+func Budget(sdcBytes, lpEntries, sdcDirEntries, cores int) []BudgetEntry {
+	return corepkg.Budget(sdcBytes, lpEntries, sdcDirEntries, cores)
+}
+
+// BudgetTotalKB sums a hardware budget in KB.
+func BudgetTotalKB(rows []BudgetEntry) float64 { return corepkg.TotalKB(rows) }
+
+// Graph I/O: load real inputs (SNAP-style edge lists) and cache built
+// CSR graphs in a compact binary format.
+var (
+	// ReadEdgeList parses "src dst [w]" text (SNAP/GAP format).
+	ReadEdgeList = graph.ReadEdgeList
+	// ReadBinaryGraph loads a graph written by (*Graph).WriteBinary.
+	ReadBinaryGraph = graph.ReadBinary
+)
+
+// Graph generators (synthetic stand-ins for Table III; see DESIGN.md).
+var (
+	// Kron generates a Graph500-style Kronecker graph.
+	Kron = graph.Kron
+	// Urand generates a uniform random graph.
+	Urand = graph.Urand
+	// PowerLaw generates a preferential-attachment graph.
+	PowerLaw = graph.PowerLaw
+	// WebLike generates a locality-rich power-law web graph.
+	WebLike = graph.WebLike
+	// RoadGrid generates a weighted road-network lattice.
+	RoadGrid = graph.RoadGrid
+)

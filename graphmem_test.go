@@ -1,0 +1,115 @@
+// Tests for the public API façade: everything a downstream user would
+// touch must work through the graphmem package alone.
+package graphmem_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"graphmem"
+	"graphmem/internal/trace"
+)
+
+func TestPublicAPIBuildGraphAndKernel(t *testing.T) {
+	g := graphmem.Urand(2000, 8000, 1)
+	if g.NumVertices() != 2000 || g.NumEdges() == 0 {
+		t.Fatal("generator via public API broken")
+	}
+	space := graphmem.NewSpace(0)
+	inst := graphmem.NewKernel("bfs", g, space)
+	if inst.Info().Name != "bfs" {
+		t.Fatal("kernel info wrong")
+	}
+	w := graphmem.MakeWorkload("bfs.tiny", inst, space)
+	cfg := graphmem.TableI(1).BenchScale().WithWindows(10_000, 50_000)
+	res := graphmem.RunSingleCore(cfg, w)
+	if res.Stats.Instructions < 50_000 || res.IPC() <= 0 {
+		t.Fatalf("run broken: %v", res)
+	}
+}
+
+func TestPublicAPIUnknownKernelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	graphmem.NewKernel("nope", graphmem.Urand(10, 20, 1), graphmem.NewSpace(0))
+}
+
+func TestPublicAPIProfilesAndWorkloads(t *testing.T) {
+	if len(graphmem.AllWorkloads()) != 36 {
+		t.Error("workload count")
+	}
+	if len(graphmem.KernelNames()) != 6 || len(graphmem.GraphNames()) != 6 {
+		t.Error("name lists")
+	}
+	for _, n := range []string{"bench", "small", "full"} {
+		if _, err := graphmem.ProfileByName(n); err != nil {
+			t.Errorf("profile %s: %v", n, err)
+		}
+	}
+	if graphmem.BenchProfile().Name != "bench" ||
+		graphmem.SmallProfile().Name != "small" ||
+		graphmem.FullProfile().Name != "full" {
+		t.Error("profile constructors")
+	}
+}
+
+func TestPublicAPIBudget(t *testing.T) {
+	rows := graphmem.Budget(8<<10, 32, 128, 1)
+	if got := graphmem.BudgetTotalKB(rows); math.Abs(got-10) > 0.1 {
+		t.Errorf("Table IV total = %.2f KB, want ~10", got)
+	}
+}
+
+func TestPublicAPIConfigVariants(t *testing.T) {
+	base := graphmem.TableI(1)
+	for _, cfg := range []graphmem.Config{
+		base.WithSDCLP(), base.WithTOPT(), base.WithDistill(),
+		base.WithBigL1D(), base.With2xLLC(), base.WithExpert(),
+		base.WithSDCLP().WithSDCSize(16),
+		base.WithSDCLP().WithLP(64, 64, 8),
+		base.WithoutPrefetchers(),
+		base.WithDirLatency(8),
+	} {
+		if cfg.Name == "" || cfg.Name == "Baseline" {
+			t.Errorf("variant lost its name: %+v", cfg.Name)
+		}
+	}
+}
+
+func TestPublicAPIMultiCore(t *testing.T) {
+	g := graphmem.Urand(20000, 100000, 2)
+	cfg := graphmem.TableI(2).BenchScale().WithWindows(20_000, 100_000)
+	ws := make([]graphmem.Workload, 2)
+	for i := 0; i < 2; i++ {
+		space := graphmem.NewSpace(i)
+		ws[i] = graphmem.MakeWorkload("cc", graphmem.NewKernel("cc", g, space), space)
+	}
+	res := graphmem.RunMultiCore(cfg, ws)
+	ipcs := res.IPCs()
+	if len(ipcs) != 2 || ipcs[0] <= 0 || ipcs[1] <= 0 {
+		t.Fatalf("multi-core IPCs = %v", ipcs)
+	}
+}
+
+func TestPublicAPITracerDirectUse(t *testing.T) {
+	// A downstream user can drive a kernel into their own sink.
+	g := graphmem.Kron(8, 8, 3)
+	inst := graphmem.NewKernel("pr", g, graphmem.NewSpace(0))
+	sink := &trace.CountingSink{Limit: 10_000}
+	inst.Run(trace.New(sink))
+	if sink.Records != 10_000 {
+		t.Errorf("records = %d", sink.Records)
+	}
+}
+
+func TestPublicAPIWorkbenchExperiment(t *testing.T) {
+	wb := bench() // shared with the benchmarks
+	tbl := wb.Tab4(1)
+	if !strings.Contains(tbl.String(), "SDCDir") {
+		t.Error("tab4 via façade broken")
+	}
+}

@@ -1,0 +1,363 @@
+// Package cache models the set-associative caches of the hierarchy
+// (L1D, L2C, LLC, and the paper's SDC reuses the same machinery):
+// lookup/fill/invalidate with per-line fill timestamps, MSHRs with
+// merge-and-stall semantics, pluggable replacement (LRU, the T-OPT
+// transpose-driven policy of Balaji et al.) and the Line Distillation
+// organization of Qureshi et al. used as the "Distill Cache" baseline.
+//
+// Timing follows the repository-wide timestamp-reservation scheme: the
+// cache never steps cycles; callers pass the current CPU cycle and get
+// back ready-at timestamps.
+package cache
+
+import (
+	"fmt"
+
+	"graphmem/internal/mem"
+	"graphmem/internal/stats"
+)
+
+// Config describes one cache structure.
+type Config struct {
+	// Name appears in stats output ("L1D", "L2C", ...).
+	Name string
+	// SizeBytes is the total data capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// Latency is the lookup (hit) latency in cycles.
+	Latency int64
+	// MSHRs bounds outstanding misses; 0 means unlimited.
+	MSHRs int
+	// Policy selects the replacement policy; nil means LRU.
+	Policy Policy
+	// Distill enables the Line Distillation organization: the last
+	// DistillWOCWays ways of each set form the Word-Organized Cache
+	// holding only the used words of lines evicted from the rest.
+	Distill        bool
+	DistillWOCWays int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int {
+	s := c.SizeBytes / (mem.BlockSize * c.Ways)
+	if s <= 0 || s&(s-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two (size=%d ways=%d)",
+			c.Name, s, c.SizeBytes, c.Ways))
+	}
+	return s
+}
+
+// Line is one cache line's bookkeeping. The simulator is address-only;
+// no data is stored.
+type Line struct {
+	Blk        mem.BlockAddr
+	Valid      bool
+	Dirty      bool
+	Prefetched bool
+	// ReadyAt is the fill completion time: a hit on a line still being
+	// filled waits until then (MSHR hit-under-fill).
+	ReadyAt int64
+	// Used is a per-word (4 B) use bitmask for line distillation.
+	Used uint16
+	// WOC marks a distillation word-organized entry that only holds the
+	// words set in Used.
+	WOC bool
+	// RRPV is the re-reference prediction value maintained by the
+	// SRRIP policy (unused under other policies).
+	RRPV uint8
+	// lru is the recency stamp maintained by the cache.
+	lru int64
+}
+
+// Cache is one set-associative cache structure.
+type Cache struct {
+	cfg      Config
+	sets     [][]Line
+	setMask  uint64
+	lruClock int64
+	policy   Policy
+	mshr     *MSHR
+	// Stats counts demand activity (prefetch fills are counted
+	// separately by the caller via MarkPrefetchFill).
+	Stats stats.CacheStats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	nsets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]Line, nsets),
+		setMask: uint64(nsets - 1),
+		policy:  cfg.Policy,
+	}
+	if c.policy == nil {
+		c.policy = LRU{}
+	}
+	if cfg.Distill && (cfg.DistillWOCWays <= 0 || cfg.DistillWOCWays >= cfg.Ways) {
+		panic(fmt.Sprintf("cache %s: bad DistillWOCWays %d for %d ways", cfg.Name, cfg.DistillWOCWays, cfg.Ways))
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]Line, cfg.Ways)
+	}
+	if cfg.MSHRs > 0 {
+		c.mshr = NewMSHR(cfg.MSHRs)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Latency returns the lookup latency in cycles.
+func (c *Cache) Latency() int64 { return c.cfg.Latency }
+
+// MSHR exposes the miss-status holding registers (nil when unlimited).
+func (c *Cache) MSHR() *MSHR { return c.mshr }
+
+func (c *Cache) setIndex(blk mem.BlockAddr) int {
+	return int(uint64(blk) & c.setMask)
+}
+
+// wordMask returns the distillation used-word bits touched by an access
+// of size bytes at addr.
+func wordMask(addr mem.Addr, size uint8) uint16 {
+	first := addr.BlockOffset() / 4
+	last := (addr.BlockOffset() + uint64(size) - 1) / 4
+	if last > 15 {
+		last = 15
+	}
+	var m uint16
+	for w := first; w <= last; w++ {
+		m |= 1 << w
+	}
+	return m
+}
+
+// LookupResult describes the outcome of a Lookup.
+type LookupResult struct {
+	Hit bool
+	// ReadyAt is valid on a hit: when the data can be delivered,
+	// accounting for the lookup latency and any in-progress fill.
+	ReadyAt int64
+	// WOCHit marks a distillation hit served from the word-organized
+	// portion of the set.
+	WOCHit bool
+}
+
+// Lookup performs a demand access at CPU cycle now. On a hit it updates
+// recency/used-word state and returns the data-ready time. On a miss it
+// records the miss; the caller is responsible for fetching the block
+// downstream and calling Fill. Prefetch lookups (prefetch=true) count
+// into the separate PFHits/PFMisses so demand MPKI stays clean.
+func (c *Cache) Lookup(blk mem.BlockAddr, addr mem.Addr, size uint8, write, prefetch bool, now int64) LookupResult {
+	set := c.sets[c.setIndex(blk)]
+	t := now + c.cfg.Latency
+	for w := range set {
+		ln := &set[w]
+		if !ln.Valid || ln.Blk != blk {
+			continue
+		}
+		if ln.WOC {
+			// A word-organized entry only serves the words it kept.
+			if ln.Used&wordMask(addr, size) != wordMask(addr, size) {
+				continue
+			}
+		}
+		c.lruClock++
+		ln.lru = c.lruClock
+		ln.Used |= wordMask(addr, size)
+		if write {
+			ln.Dirty = true
+		}
+		if prefetch {
+			c.Stats.PFHits++
+		} else {
+			c.Stats.Hits++
+		}
+		c.policy.OnHit(c, blk, set, w)
+		ready := t
+		if ln.ReadyAt > ready {
+			ready = ln.ReadyAt
+		}
+		return LookupResult{Hit: true, ReadyAt: ready, WOCHit: ln.WOC}
+	}
+	if prefetch {
+		c.Stats.PFMisses++
+	} else {
+		c.Stats.Misses++
+	}
+	return LookupResult{Hit: false, ReadyAt: t}
+}
+
+// Probe reports whether blk is present (valid, full line or any WOC
+// fragment) without touching recency, stats or used-word state.
+func (c *Cache) Probe(blk mem.BlockAddr) bool {
+	set := c.sets[c.setIndex(blk)]
+	for w := range set {
+		if set[w].Valid && set[w].Blk == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbeDirty reports presence and dirtiness without state changes.
+func (c *Cache) ProbeDirty(blk mem.BlockAddr) (present, dirty bool) {
+	set := c.sets[c.setIndex(blk)]
+	for w := range set {
+		if set[w].Valid && set[w].Blk == blk {
+			return true, set[w].Dirty
+		}
+	}
+	return false, false
+}
+
+// Victim describes a line evicted by Fill.
+type Victim struct {
+	Valid bool
+	Blk   mem.BlockAddr
+	Dirty bool
+	// Used carries the distillation use mask of the evicted line.
+	Used uint16
+}
+
+// Fill inserts blk, returning the evicted victim (Victim.Valid=false if
+// an invalid way was used). readyAt is the fill completion time;
+// prefetch marks prefetcher-initiated fills; write pre-dirties the line
+// (write-allocate stores).
+func (c *Cache) Fill(blk mem.BlockAddr, addr mem.Addr, size uint8, write, prefetch bool, readyAt int64) Victim {
+	si := c.setIndex(blk)
+	set := c.sets[si]
+	// Refill of a line already present (e.g. prefetch racing a demand
+	// fill): refresh timing only.
+	for w := range set {
+		if set[w].Valid && set[w].Blk == blk && !set[w].WOC {
+			if readyAt < set[w].ReadyAt {
+				set[w].ReadyAt = readyAt
+			}
+			if write {
+				set[w].Dirty = true
+			}
+			return Victim{}
+		}
+	}
+	lastLOC := len(set)
+	if c.cfg.Distill {
+		lastLOC = len(set) - c.cfg.DistillWOCWays
+	}
+	way := -1
+	for w := 0; w < lastLOC; w++ {
+		if !set[w].Valid {
+			way = w
+			break
+		}
+	}
+	var v Victim
+	if way < 0 {
+		way = c.policy.Victim(c, blk, set[:lastLOC])
+		ln := &set[way]
+		v = Victim{Valid: true, Blk: ln.Blk, Dirty: ln.Dirty, Used: ln.Used}
+		ln.Valid = false
+		if c.cfg.Distill {
+			// Line distillation: retain the victim's used words in the
+			// word-organized ways instead of discarding the whole line.
+			c.distillInsert(si, v)
+			// The WOC now holds any dirty words; don't double-writeback.
+		}
+		c.Stats.Evictions++
+		if v.Dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	c.lruClock++
+	ln := &set[way]
+	*ln = Line{
+		Blk:        blk,
+		Valid:      true,
+		Dirty:      write,
+		Prefetched: prefetch,
+		ReadyAt:    readyAt,
+		Used:       wordMask(addr, size),
+		lru:        c.lruClock,
+	}
+	c.policy.OnFill(c, blk, set[:lastLOC], way)
+	return v
+}
+
+// distillInsert places an evicted line's used words into the WOC ways of
+// set si, evicting the LRU WOC entry.
+func (c *Cache) distillInsert(si int, v Victim) {
+	if v.Used == 0 {
+		return
+	}
+	set := c.sets[si]
+	start := len(set) - c.cfg.DistillWOCWays
+	way := start
+	best := int64(1<<63 - 1)
+	for w := start; w < len(set); w++ {
+		if !set[w].Valid {
+			way = w
+			break
+		}
+		if set[w].lru < best {
+			best = set[w].lru
+			way = w
+		}
+	}
+	c.lruClock++
+	set[way] = Line{
+		Blk:   v.Blk,
+		Valid: true,
+		Dirty: v.Dirty,
+		WOC:   true,
+		Used:  v.Used,
+		lru:   c.lruClock,
+	}
+}
+
+// Invalidate removes blk if present and reports whether it was there and
+// dirty (the caller must write it back if so).
+func (c *Cache) Invalidate(blk mem.BlockAddr) (present, dirty bool) {
+	set := c.sets[c.setIndex(blk)]
+	for w := range set {
+		if set[w].Valid && set[w].Blk == blk {
+			present = true
+			dirty = dirty || set[w].Dirty
+			set[w].Valid = false
+		}
+	}
+	return present, dirty
+}
+
+// MarkPrefetchFill counts a prefetch fill in the stats.
+func (c *Cache) MarkPrefetchFill() { c.Stats.Prefetches++ }
+
+// Occupancy returns the number of valid lines (full and WOC).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for w := range set {
+			if set[w].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEachValid calls fn for every valid line; used by invariant checks
+// in tests.
+func (c *Cache) ForEachValid(fn func(ln *Line)) {
+	for _, set := range c.sets {
+		for w := range set {
+			if set[w].Valid {
+				fn(&set[w])
+			}
+		}
+	}
+}
+
+// lruOf returns the recency stamp used by the LRU policy.
+func lruOf(ln *Line) int64 { return ln.lru }

@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"graphmem/internal/mem"
+)
+
+// MSHR models a cache's Miss Status Holding Registers with the two
+// effects that matter for timing: (i) a demand access to a block whose
+// miss is already outstanding merges into it and completes when the
+// fill does; (ii) when all registers are busy, a new miss stalls until
+// the earliest outstanding fill completes.
+type MSHR struct {
+	cap     int
+	entries map[mem.BlockAddr]int64 // block -> fill-ready time
+}
+
+// NewMSHR creates an MSHR file with capacity slots.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHR{cap: capacity, entries: make(map[mem.BlockAddr]int64, capacity+1)}
+}
+
+// Capacity returns the number of registers.
+func (m *MSHR) Capacity() int { return m.cap }
+
+// purge drops entries whose fills completed at or before now.
+func (m *MSHR) purge(now int64) {
+	for blk, ready := range m.entries {
+		if ready <= now {
+			delete(m.entries, blk)
+		}
+	}
+}
+
+// Outstanding returns the number of in-flight misses at time now.
+func (m *MSHR) Outstanding(now int64) int {
+	m.purge(now)
+	return len(m.entries)
+}
+
+// Lookup reports whether blk has an outstanding miss at time now and,
+// if so, when its fill completes (merge case).
+func (m *MSHR) Lookup(blk mem.BlockAddr, now int64) (ready int64, inflight bool) {
+	ready, inflight = m.entries[blk]
+	if inflight && ready <= now {
+		delete(m.entries, blk)
+		return 0, false
+	}
+	return ready, inflight
+}
+
+// Allocate reserves a register for a miss on blk issued at time now,
+// returning the (possibly delayed) time at which the miss can actually
+// be sent downstream: if every register is busy the caller stalls until
+// the earliest outstanding fill frees one.
+func (m *MSHR) Allocate(blk mem.BlockAddr, now int64) int64 {
+	m.purge(now)
+	start := now
+	for len(m.entries) >= m.cap {
+		earliest := int64(1<<63 - 1)
+		var victim mem.BlockAddr
+		for b, ready := range m.entries {
+			if ready < earliest {
+				earliest = ready
+				victim = b
+			}
+		}
+		delete(m.entries, victim)
+		if earliest > start {
+			start = earliest
+		}
+	}
+	// The entry's ready time is set by Complete once the downstream
+	// latency is known; reserve with a placeholder in the far future so
+	// concurrent allocations see the slot as busy.
+	m.entries[blk] = 1<<63 - 1
+	return start
+}
+
+// Complete records the fill time of a previously allocated miss.
+func (m *MSHR) Complete(blk mem.BlockAddr, ready int64) {
+	m.entries[blk] = ready
+}
+
+// Abandon releases a reservation without a fill (e.g. the request was
+// satisfied by a remote cache transfer handled elsewhere).
+func (m *MSHR) Abandon(blk mem.BlockAddr) {
+	delete(m.entries, blk)
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"graphmem/internal/mem"
+)
+
+// The paper fixes τ_glob = 8 and notes (Section V-C) that the Expert
+// Programmer beats the LP precisely where that constant is inadequate
+// (e.g. pr.web). AdaptiveLP is this repository's extension in the
+// paper's future-work spirit: it keeps the LP table unchanged but tunes
+// τ_glob online from routing outcomes.
+//
+// Feedback signals, accumulated per epoch:
+//   - a *friendly* access that ends up served by DRAM was misrouted —
+//     the threshold is too high (the access should have bypassed);
+//   - an *averse* access that the rest of the hierarchy could have
+//     served (it hit a cache on the coherence probe) was misrouted —
+//     the threshold is too low.
+//
+// At each epoch boundary τ moves one step toward whichever
+// misclassification dominates, clamped to [TauMin, TauMax]. The
+// hardware cost is two counters and a comparator.
+type AdaptiveLP struct {
+	*LP
+	// Epoch is the number of routed accesses between adjustments.
+	Epoch int64
+	// TauMin/TauMax clamp the threshold.
+	TauMin, TauMax uint64
+	// MarginPct is the relative imbalance (in percent of epoch
+	// accesses) required before τ moves.
+	MarginPct int64
+
+	accesses     int64
+	friendlyDRAM int64
+	averseCached int64
+	// Adjustments counts τ moves, for tests and stats.
+	Adjustments int64
+}
+
+// NewAdaptiveLP wraps a predictor built from cfg with threshold
+// adaptation. cfg.Tau is the starting threshold.
+func NewAdaptiveLP(cfg LPConfig) *AdaptiveLP {
+	return &AdaptiveLP{
+		LP:        NewLP(cfg),
+		Epoch:     1 << 15,
+		TauMin:    2,
+		TauMax:    64,
+		MarginPct: 1,
+	}
+}
+
+// Tau returns the current threshold.
+func (a *AdaptiveLP) Tau() uint64 { return a.cfg.Tau }
+
+// Feedback reports where a routed access was ultimately served.
+func (a *AdaptiveLP) Feedback(averse bool, served mem.ServedBy) {
+	a.accesses++
+	if !averse && served == mem.ServedDRAM {
+		a.friendlyDRAM++
+	}
+	if averse && (served == mem.ServedL1D || served == mem.ServedL2 || served == mem.ServedLLC) {
+		a.averseCached++
+	}
+	if a.accesses < a.Epoch {
+		return
+	}
+	margin := a.Epoch * a.MarginPct / 100
+	switch {
+	case a.friendlyDRAM > a.averseCached+margin && a.cfg.Tau > a.TauMin:
+		a.cfg.Tau /= 2
+		if a.cfg.Tau < a.TauMin {
+			a.cfg.Tau = a.TauMin
+		}
+		a.Adjustments++
+	case a.averseCached > a.friendlyDRAM+margin && a.cfg.Tau < a.TauMax:
+		a.cfg.Tau *= 2
+		if a.cfg.Tau > a.TauMax {
+			a.cfg.Tau = a.TauMax
+		}
+		a.Adjustments++
+	}
+	a.accesses = 0
+	a.friendlyDRAM = 0
+	a.averseCached = 0
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+func feed(a *AdaptiveLP, n int64, averse bool, served mem.ServedBy) {
+	for i := int64(0); i < n; i++ {
+		a.Feedback(averse, served)
+	}
+}
+
+func TestAdaptiveLoweringTau(t *testing.T) {
+	a := NewAdaptiveLP(DefaultLPConfig())
+	a.Epoch = 1000
+	start := a.Tau()
+	// Friendly accesses keep falling through to DRAM: τ must drop.
+	feed(a, 1000, false, mem.ServedDRAM)
+	if a.Tau() >= start {
+		t.Errorf("tau = %d, want below %d", a.Tau(), start)
+	}
+	if a.Adjustments != 1 {
+		t.Errorf("adjustments = %d", a.Adjustments)
+	}
+}
+
+func TestAdaptiveRaisingTau(t *testing.T) {
+	a := NewAdaptiveLP(DefaultLPConfig())
+	a.Epoch = 1000
+	start := a.Tau()
+	// Averse accesses keep being served by caches: τ must rise.
+	feed(a, 1000, true, mem.ServedLLC)
+	if a.Tau() <= start {
+		t.Errorf("tau = %d, want above %d", a.Tau(), start)
+	}
+}
+
+func TestAdaptiveClamps(t *testing.T) {
+	a := NewAdaptiveLP(DefaultLPConfig())
+	a.Epoch = 100
+	for i := 0; i < 50; i++ {
+		feed(a, 100, false, mem.ServedDRAM)
+	}
+	if a.Tau() < a.TauMin {
+		t.Errorf("tau %d fell below min %d", a.Tau(), a.TauMin)
+	}
+	for i := 0; i < 50; i++ {
+		feed(a, 100, true, mem.ServedLLC)
+	}
+	if a.Tau() > a.TauMax {
+		t.Errorf("tau %d exceeded max %d", a.Tau(), a.TauMax)
+	}
+}
+
+func TestAdaptiveStableWhenBalanced(t *testing.T) {
+	a := NewAdaptiveLP(DefaultLPConfig())
+	a.Epoch = 1000
+	start := a.Tau()
+	// Well-routed traffic: friendly hits caches, averse reaches DRAM.
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 500; j++ {
+			a.Feedback(false, mem.ServedL1D)
+			a.Feedback(true, mem.ServedDRAM)
+		}
+	}
+	if a.Tau() != start {
+		t.Errorf("balanced feedback moved tau %d -> %d", start, a.Tau())
+	}
+	if a.Adjustments != 0 {
+		t.Errorf("adjustments = %d", a.Adjustments)
+	}
+}
+
+func TestAdaptivePredictionUsesCurrentTau(t *testing.T) {
+	a := NewAdaptiveLP(LPConfig{Entries: 32, Ways: 8, Tau: 8})
+	pc := uint64(0x400000)
+	// Train a PC with s_acc around 16 (above 8, below 32).
+	a.PredictAndUpdate(pc, 0)
+	for i := 1; i < 20; i++ {
+		a.PredictAndUpdate(pc, mem.BlockAddr(i*32))
+	}
+	if !a.Predict(pc) {
+		t.Fatal("entry should be averse at tau=8")
+	}
+	// Push τ above the accumulator: same entry becomes friendly.
+	a.Epoch = 100
+	feed(a, 100, true, mem.ServedLLC) // 8 -> 16
+	feed(a, 100, true, mem.ServedLLC) // 16 -> 32
+	if a.Tau() < 32 {
+		t.Fatalf("tau = %d", a.Tau())
+	}
+	if a.Predict(pc) {
+		t.Error("raised tau did not change the routing decision")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"graphmem/internal/mem"
+)
+
+// Table IV bit widths, assuming 48-bit physical addresses.
+const (
+	sdcDataBits  = 512 // 64 B line
+	sdcTagBits   = 42  // 48-bit PA minus 6 block offset bits
+	lpTagBits    = 65  // Table IV's stated LP tag width
+	lpAddrBits   = 58  // Table IV's stated LP address field width
+	dirTagBits   = 42
+	dirStateBits = 6
+)
+
+// BudgetEntry is one row of Table IV.
+type BudgetEntry struct {
+	Name        string
+	Entries     int
+	BitsPerItem int
+	KB          float64
+}
+
+// Budget computes the per-core hardware budget of the SDC+LP proposal
+// (Table IV) for the given geometries: SDC capacity in bytes, LP entry
+// count, SDCDir entry count and the number of cores sharing the
+// directory (one sharer bit each).
+func Budget(sdcBytes, lpEntries, sdcDirEntries, cores int) []BudgetEntry {
+	sdcEntries := sdcBytes / mem.BlockSize
+	rows := []BudgetEntry{
+		{
+			Name:        "SDC",
+			Entries:     sdcEntries,
+			BitsPerItem: sdcDataBits + sdcTagBits + 1 + 1, // data + tag + valid + dirty
+		},
+		{
+			Name:        "LP",
+			Entries:     lpEntries,
+			BitsPerItem: lpTagBits + lpAddrBits + SAccBits + 1, // tag + address + stride + valid
+		},
+		{
+			Name:        "SDCDir",
+			Entries:     sdcDirEntries,
+			BitsPerItem: dirTagBits + dirStateBits + cores, // tag + state + 1 sharer bit per core
+		},
+	}
+	for i := range rows {
+		rows[i].KB = float64(rows[i].Entries) * float64(rows[i].BitsPerItem) / 8 / 1024
+	}
+	return rows
+}
+
+// TotalKB sums a budget's storage in KB.
+func TotalKB(rows []BudgetEntry) float64 {
+	var t float64
+	for _, r := range rows {
+		t += r.KB
+	}
+	return t
+}
+
+// String renders one row like Table IV.
+func (b BudgetEntry) String() string {
+	return fmt.Sprintf("%-7s %4d entries x %3d bits = %5.2f KB", b.Name, b.Entries, b.BitsPerItem, b.KB)
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphmem/internal/mem"
+)
+
+// pcAt returns the i-th synthetic instruction address (8-byte spaced,
+// like trace.Tracer sites).
+func pcAt(i int) uint64 { return 0x400000 + uint64(i)*8 }
+
+func TestLPGeometryValidation(t *testing.T) {
+	for _, bad := range []LPConfig{
+		{Entries: 0, Ways: 1, Tau: 8},
+		{Entries: 32, Ways: 5, Tau: 8},
+		{Entries: 24, Ways: 2, Tau: 8}, // 12 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", bad)
+				}
+			}()
+			NewLP(bad)
+		}()
+	}
+	// Fully associative is legal.
+	NewLP(LPConfig{Entries: 32, Ways: 32, Tau: 8})
+}
+
+func TestColdPredictFriendlyAndAllocates(t *testing.T) {
+	lp := NewLP(DefaultLPConfig())
+	if lp.Predict(pcAt(0)) {
+		t.Error("cold Predict should be friendly")
+	}
+	if lp.PredictAndUpdate(pcAt(0), 100) {
+		t.Error("table miss must route to the L1D path")
+	}
+	if lp.TableMisses != 1 {
+		t.Errorf("TableMisses = %d", lp.TableMisses)
+	}
+	if acc, ok := lp.SAcc(pcAt(0)); !ok || acc != 0 {
+		t.Errorf("allocated entry s_acc = %d, ok=%v", acc, ok)
+	}
+}
+
+func TestSequentialStreamStaysFriendly(t *testing.T) {
+	lp := NewLP(DefaultLPConfig())
+	pc := pcAt(1)
+	for i := 0; i < 100; i++ {
+		if lp.PredictAndUpdate(pc, mem.BlockAddr(i)) {
+			t.Fatalf("unit-stride access %d classified averse", i)
+		}
+	}
+	if acc, _ := lp.SAcc(pc); acc > 1 {
+		t.Errorf("unit-stride s_acc = %d", acc)
+	}
+}
+
+func TestIrregularStreamTurnsAverse(t *testing.T) {
+	lp := NewLP(DefaultLPConfig())
+	pc := pcAt(2)
+	lp.PredictAndUpdate(pc, 0)
+	averseSeen := false
+	for i := 1; i < 20; i++ {
+		// Jump thousands of blocks each access, like a gather through
+		// NA into a multi-MB property array.
+		if lp.PredictAndUpdate(pc, mem.BlockAddr(i*5000)) {
+			averseSeen = true
+		}
+	}
+	if !averseSeen {
+		t.Fatal("large-stride stream never classified averse")
+	}
+	if !lp.Predict(pc) {
+		t.Error("entry should be averse in steady state")
+	}
+}
+
+func TestSAccUpdateRule(t *testing.T) {
+	lp := NewLP(DefaultLPConfig())
+	pc := pcAt(3)
+	lp.PredictAndUpdate(pc, 100) // allocate, s_acc=0, addr=100
+	lp.PredictAndUpdate(pc, 160) // s=60: s_acc=(0+60)>>1=30
+	if acc, _ := lp.SAcc(pc); acc != 30 {
+		t.Errorf("s_acc = %d, want 30", acc)
+	}
+	lp.PredictAndUpdate(pc, 150) // s=10 (absolute): s_acc=(30+10)>>1=20
+	if acc, _ := lp.SAcc(pc); acc != 20 {
+		t.Errorf("s_acc = %d, want 20", acc)
+	}
+}
+
+func TestSAccSaturates(t *testing.T) {
+	lp := NewLP(DefaultLPConfig())
+	pc := pcAt(4)
+	lp.PredictAndUpdate(pc, 0)
+	lp.PredictAndUpdate(pc, 1<<40) // enormous stride
+	acc, _ := lp.SAcc(pc)
+	if acc != (1<<SAccBits-1)>>1 {
+		t.Errorf("s_acc = %d, want saturation %d", acc, (1<<SAccBits-1)>>1)
+	}
+}
+
+func TestSAccNeverExceedsFieldWidth(t *testing.T) {
+	f := func(strides []uint32) bool {
+		lp := NewLP(DefaultLPConfig())
+		pc := pcAt(5)
+		blk := mem.BlockAddr(0)
+		lp.PredictAndUpdate(pc, blk)
+		for _, s := range strides {
+			blk += mem.BlockAddr(s % (1 << 20))
+			lp.PredictAndUpdate(pc, blk)
+			if acc, _ := lp.SAcc(pc); acc > 1<<SAccBits-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictionPrecedesUpdate(t *testing.T) {
+	// The classification must use the accumulator value from before the
+	// current stride is folded in (Fig. 4 then Fig. 5).
+	lp := NewLP(LPConfig{Entries: 32, Ways: 8, Tau: 8})
+	pc := pcAt(6)
+	lp.PredictAndUpdate(pc, 0)
+	// Huge stride now: but s_acc was 0 at prediction time -> friendly.
+	if lp.PredictAndUpdate(pc, 1<<20) {
+		t.Error("first large-stride access must still predict friendly")
+	}
+	// Now s_acc is large: next access is averse regardless of stride.
+	if !lp.PredictAndUpdate(pc, 1<<20+1) {
+		t.Error("second access should see the accumulated stride")
+	}
+}
+
+func TestTauZeroRoutesEverythingAverseAfterWarm(t *testing.T) {
+	lp := NewLP(LPConfig{Entries: 32, Ways: 8, Tau: 0})
+	pc := pcAt(7)
+	lp.PredictAndUpdate(pc, 0)
+	for i := 1; i < 10; i++ {
+		if !lp.PredictAndUpdate(pc, mem.BlockAddr(i)) {
+			t.Fatal("τ=0 should classify every table hit as averse")
+		}
+	}
+}
+
+func TestHugeTauNeverAverse(t *testing.T) {
+	lp := NewLP(LPConfig{Entries: 32, Ways: 8, Tau: math.MaxUint64})
+	pc := pcAt(8)
+	blk := mem.BlockAddr(0)
+	for i := 0; i < 50; i++ {
+		blk += 1 << 19
+		if lp.PredictAndUpdate(pc, blk) {
+			t.Fatal("τ=max should never classify averse")
+		}
+	}
+}
+
+func TestLRUReplacementAcrossPCs(t *testing.T) {
+	// 8 entries, fully associative: the 9th distinct PC evicts the
+	// least recently used one.
+	lp := NewLP(LPConfig{Entries: 8, Ways: 8, Tau: 8})
+	for i := 0; i < 8; i++ {
+		lp.PredictAndUpdate(pcAt(i), 0)
+	}
+	lp.PredictAndUpdate(pcAt(0), 64) // refresh PC 0
+	lp.PredictAndUpdate(pcAt(99), 0) // evicts PC 1
+	if _, ok := lp.SAcc(pcAt(0)); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := lp.SAcc(pcAt(1)); ok {
+		t.Error("LRU entry survived")
+	}
+	if _, ok := lp.SAcc(pcAt(99)); !ok {
+		t.Error("new entry not allocated")
+	}
+}
+
+func TestSetMappingSpreadsPCs(t *testing.T) {
+	// With 4 sets, 8-byte-spaced PCs must not all land in one set.
+	lp := NewLP(LPConfig{Entries: 32, Ways: 8, Tau: 8})
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		si, _ := lp.split(pcAt(i))
+		seen[si] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("8 consecutive sites map to only %d sets", len(seen))
+	}
+}
+
+func TestDistinctPCsHaveIndependentState(t *testing.T) {
+	lp := NewLP(DefaultLPConfig())
+	reg, irr := pcAt(10), pcAt(11)
+	blkR, blkI := mem.BlockAddr(0), mem.BlockAddr(1<<30)
+	lp.PredictAndUpdate(reg, blkR)
+	lp.PredictAndUpdate(irr, blkI)
+	for i := 0; i < 30; i++ {
+		blkR++
+		blkI += 9999
+		lp.PredictAndUpdate(reg, blkR)
+		lp.PredictAndUpdate(irr, blkI)
+	}
+	if lp.Predict(reg) {
+		t.Error("regular PC contaminated by irregular PC")
+	}
+	if !lp.Predict(irr) {
+		t.Error("irregular PC not classified averse")
+	}
+}
+
+func TestBudgetMatchesTableIV(t *testing.T) {
+	rows := Budget(8<<10, 32, 128, 1)
+	byName := map[string]BudgetEntry{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Table IV: SDC 8.69 KB, LP 0.54 KB, SDCDir 0.77 KB, total 10 KB.
+	if got := byName["SDC"]; math.Abs(got.KB-8.69) > 0.01 {
+		t.Errorf("SDC = %.3f KB, want 8.69", got.KB)
+	}
+	if got := byName["LP"]; math.Abs(got.KB-0.54) > 0.01 {
+		t.Errorf("LP = %.3f KB, want 0.54", got.KB)
+	}
+	if got := byName["SDCDir"]; math.Abs(got.KB-0.77) > 0.01 {
+		t.Errorf("SDCDir = %.3f KB, want 0.77", got.KB)
+	}
+	if total := TotalKB(rows); math.Abs(total-10) > 0.1 {
+		t.Errorf("total = %.2f KB, want ~10", total)
+	}
+	if byName["SDC"].Entries != 128 || byName["LP"].Entries != 32 {
+		t.Error("entry counts wrong")
+	}
+}
+
+func TestBudgetString(t *testing.T) {
+	rows := Budget(8<<10, 32, 128, 4)
+	for _, r := range rows {
+		if r.String() == "" {
+			t.Error("empty budget row")
+		}
+	}
+}

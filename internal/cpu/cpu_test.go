@@ -1,0 +1,183 @@
+package cpu
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+	"graphmem/internal/trace"
+)
+
+// fixedMem returns a MemFunc with constant latency, recording issue
+// times.
+func fixedMem(lat int64, issues *[]int64) MemFunc {
+	return func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
+		if issues != nil {
+			*issues = append(*issues, issue)
+		}
+		return mem.Response{Ready: issue + lat, Source: mem.ServedL1D}
+	}
+}
+
+func TestIPCBoundedByWidth(t *testing.T) {
+	c := New(DefaultConfig(), fixedMem(4, nil))
+	// 10000 non-memory instructions + cheap loads: IPC <= 4.
+	for i := 0; i < 1000; i++ {
+		c.Access(trace.Record{PC: 1, Addr: mem.Addr(i * 4), Size: 4, NonMem: 9})
+	}
+	cycles := c.Cycle()
+	ipc := float64(c.Instructions) / float64(cycles)
+	if ipc > 4.0 {
+		t.Errorf("IPC = %.2f exceeds width", ipc)
+	}
+	if ipc < 3.0 {
+		t.Errorf("IPC = %.2f too low for single-cycle instructions", ipc)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	var issues []int64
+	c := New(DefaultConfig(), fixedMem(200, &issues))
+	for i := 0; i < 8; i++ {
+		c.Access(trace.Record{PC: 1, Addr: mem.Addr(i * 64), Size: 4})
+	}
+	// All 8 independent loads must issue within the first few cycles,
+	// not 200 apart.
+	for i, is := range issues {
+		if is > 10 {
+			t.Errorf("load %d issued at %d; independent loads should overlap", i, is)
+		}
+	}
+}
+
+func TestDependentLoadsSerialize(t *testing.T) {
+	var issues []int64
+	c := New(DefaultConfig(), fixedMem(200, &issues))
+	c.Access(trace.Record{PC: 1, Addr: 0, Size: 4})
+	c.Access(trace.Record{PC: 2, Addr: 64, Size: 4, DepDist: 1})
+	c.Access(trace.Record{PC: 3, Addr: 128, Size: 4, DepDist: 1})
+	if issues[1] < issues[0]+200 {
+		t.Errorf("dependent load issued at %d, producer completes at %d", issues[1], issues[0]+200)
+	}
+	if issues[2] < issues[1]+200 {
+		t.Errorf("chained load issued at %d", issues[2])
+	}
+}
+
+func TestROBLimitsMLP(t *testing.T) {
+	// With latency 1000 and a 224-entry ROB of loads, loads beyond the
+	// window cannot issue until the head retires.
+	var issues []int64
+	c := New(DefaultConfig(), fixedMem(1000, &issues))
+	n := 500
+	for i := 0; i < n; i++ {
+		c.Access(trace.Record{PC: 1, Addr: mem.Addr(i * 64), Size: 4})
+	}
+	if issues[0] > 5 {
+		t.Fatalf("first load issued at %d", issues[0])
+	}
+	// Load #300 is past the first ROB window: it must wait for the
+	// first batch to retire (~1000 cycles).
+	if issues[300] < 900 {
+		t.Errorf("load 300 issued at %d; ROB should have stalled it", issues[300])
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	// Long-latency memory, but stores are buffered: a stream of stores
+	// retires at ~width rate.
+	c := New(DefaultConfig(), fixedMem(500, nil))
+	for i := 0; i < 1000; i++ {
+		c.Access(trace.Record{PC: 1, Addr: mem.Addr(i * 64), Size: 4, Write: true, NonMem: 3})
+	}
+	ipc := float64(c.Instructions) / float64(c.Cycle())
+	if ipc < 2.5 {
+		t.Errorf("store-stream IPC = %.2f; stores must not stall the pipe", ipc)
+	}
+	if c.Stores != 1000 {
+		t.Errorf("Stores = %d", c.Stores)
+	}
+}
+
+func TestLoadLatencyAccumulates(t *testing.T) {
+	c := New(DefaultConfig(), fixedMem(42, nil))
+	for i := 0; i < 10; i++ {
+		c.Access(trace.Record{PC: 1, Addr: mem.Addr(i * 64), Size: 4})
+	}
+	if c.LoadLatency != 420 {
+		t.Errorf("LoadLatency = %d, want 420", c.LoadLatency)
+	}
+	if c.Loads != 10 || c.MemOps != 10 {
+		t.Errorf("loads=%d memops=%d", c.Loads, c.MemOps)
+	}
+}
+
+func TestCyclesMonotone(t *testing.T) {
+	c := New(DefaultConfig(), fixedMem(10, nil))
+	last := int64(0)
+	for i := 0; i < 100; i++ {
+		c.Access(trace.Record{PC: 1, Addr: mem.Addr(i * 64), Size: 4, NonMem: 2})
+		if c.Cycle() < last {
+			t.Fatalf("cycle went backwards: %d -> %d", last, c.Cycle())
+		}
+		last = c.Cycle()
+	}
+}
+
+func TestLatencyBoundIPC(t *testing.T) {
+	// A fully serialized dependent chain of N loads at latency L takes
+	// at least N*L cycles.
+	c := New(DefaultConfig(), fixedMem(100, nil))
+	n := 50
+	for i := 0; i < n; i++ {
+		rec := trace.Record{PC: 1, Addr: mem.Addr(i * 64), Size: 4}
+		if i > 0 {
+			rec.DepDist = 1
+		}
+		c.Access(rec)
+	}
+	if c.Cycle() < int64(n-1)*100 {
+		t.Errorf("chain of %d dependent 100-cycle loads finished at %d", n, c.Cycle())
+	}
+}
+
+func TestHigherLatencyLowersIPC(t *testing.T) {
+	run := func(lat int64) float64 {
+		c := New(DefaultConfig(), fixedMem(lat, nil))
+		for i := 0; i < 2000; i++ {
+			rec := trace.Record{PC: 1, Addr: mem.Addr(i * 64), Size: 4, NonMem: 3}
+			if i%2 == 1 {
+				rec.DepDist = 1
+			}
+			c.Access(rec)
+		}
+		return float64(c.Instructions) / float64(c.Cycle())
+	}
+	fast, slow := run(10), run(300)
+	if slow >= fast {
+		t.Errorf("IPC fast=%.3f slow=%.3f; latency must cost throughput", fast, slow)
+	}
+}
+
+func TestWiderCoreFaster(t *testing.T) {
+	run := func(width int) float64 {
+		cfg := DefaultConfig()
+		cfg.Width = width
+		c := New(cfg, fixedMem(4, nil))
+		for i := 0; i < 2000; i++ {
+			c.Access(trace.Record{PC: 1, Addr: mem.Addr(i % 64 * 64), Size: 4, NonMem: 7})
+		}
+		return float64(c.Instructions) / float64(c.Cycle())
+	}
+	if w1, w4 := run(1), run(4); w4 <= w1 {
+		t.Errorf("width-4 IPC %.2f not above width-1 IPC %.2f", w4, w1)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Width: 0, ROB: 10}, fixedMem(1, nil))
+}

@@ -1,0 +1,245 @@
+// Package dram models the main-memory timing of Table I: DDR4 SDRAM at
+// 2.933 GT/s (I/O bus at 1466.5 MHz) with tRP = tRCD = tCAS = 24 DRAM
+// cycles, an open-page row-buffer policy, and per-bank plus data-bus
+// resource reservation.
+//
+// The model is timestamp-based: given a request's arrival time in CPU
+// cycles it returns the completion time, advancing the affected bank's
+// and the channel data bus's ready-at timestamps. This captures the
+// first-order DRAM behaviour the paper's results depend on — row-buffer
+// hits vs misses and bank/bus queueing under the bandwidth demand of
+// graph workloads — without a full command scheduler.
+package dram
+
+import (
+	"graphmem/internal/mem"
+)
+
+// Config describes one DRAM channel's geometry and timing.
+type Config struct {
+	// Banks is the number of banks in the channel.
+	Banks int
+	// RowBytes is the row-buffer size in bytes.
+	RowBytes uint64
+	// TRP, TRCD, TCAS are the precharge / activate / column timings in
+	// DRAM cycles.
+	TRP, TRCD, TCAS int64
+	// BurstCycles is the data-bus occupancy of one 64 B transfer in
+	// DRAM cycles (BL8 on a 64-bit bus = 4 cycles).
+	BurstCycles int64
+	// CPUFreqMHz and BusFreqMHz set the clock-domain conversion from
+	// DRAM cycles to CPU cycles.
+	CPUFreqMHz, BusFreqMHz float64
+}
+
+// DefaultConfig returns the Table I DRAM configuration.
+func DefaultConfig() Config {
+	return Config{
+		Banks:       16,
+		RowBytes:    8192,
+		TRP:         24,
+		TRCD:        24,
+		TCAS:        24,
+		BurstCycles: 4,
+		CPUFreqMHz:  2166,
+		BusFreqMHz:  1466.5,
+	}
+}
+
+// Stats counts channel activity.
+type Stats struct {
+	Reads, Writes       int64
+	RowHits, RowMisses  int64
+	RowConflicts        int64 // misses that also required a precharge
+	BusyCycles          int64 // CPU cycles of data-bus occupancy
+	TotalServiceLatency int64 // CPU cycles from arrival to completion, reads only
+}
+
+type bank struct {
+	openRow  int64 // -1 when precharged
+	readyAt  int64 // CPU cycle at which the bank can accept a command
+	lastUsed int64
+}
+
+// Channel is one DRAM channel with private banks and a data bus.
+type Channel struct {
+	cfg      Config
+	ratio    float64 // CPU cycles per DRAM cycle
+	banks    []bank
+	busFree  int64 // CPU cycle at which the data bus is next free
+	rowShift uint  // log2(RowBytes)
+	Stats    Stats
+}
+
+// NewChannel builds a channel from cfg.
+func NewChannel(cfg Config) *Channel {
+	if cfg.Banks <= 0 || cfg.RowBytes == 0 {
+		panic("dram: invalid config")
+	}
+	shift := uint(0)
+	for (uint64(1) << shift) < cfg.RowBytes {
+		shift++
+	}
+	if uint64(1)<<shift != cfg.RowBytes {
+		panic("dram: RowBytes must be a power of two")
+	}
+	ch := &Channel{
+		cfg:      cfg,
+		ratio:    cfg.CPUFreqMHz / cfg.BusFreqMHz,
+		banks:    make([]bank, cfg.Banks),
+		rowShift: shift,
+	}
+	for i := range ch.banks {
+		ch.banks[i].openRow = -1
+	}
+	return ch
+}
+
+// cpuCycles converts DRAM cycles to CPU cycles, rounding up.
+func (c *Channel) cpuCycles(dramCycles int64) int64 {
+	v := float64(dramCycles) * c.ratio
+	n := int64(v)
+	if float64(n) < v {
+		n++
+	}
+	return n
+}
+
+// mapAddr splits a block address into (bank, row). Consecutive blocks
+// fill a row before moving to the next bank (row:bank:column order), so
+// streaming accesses enjoy row-buffer hits while random accesses spread
+// over banks.
+func (c *Channel) mapAddr(blk mem.BlockAddr) (bankIdx int, row int64) {
+	blocksPerRow := c.cfg.RowBytes >> mem.BlockBits
+	colStripped := uint64(blk) / blocksPerRow
+	bankIdx = int(colStripped % uint64(c.cfg.Banks))
+	row = int64(colStripped / uint64(c.cfg.Banks))
+	return bankIdx, row
+}
+
+// Access serves a 64 B transfer for blk arriving at CPU cycle now and
+// returns the completion time.
+//
+// Writes are absorbed by the controller's write buffer and drained
+// eagerly off the critical path: they are counted (and they still make
+// the target row the open one, modelling drain-time activations) but
+// they do not reserve bank or bus time. Without this, write-back
+// requests — which the cache model issues at fill-completion
+// timestamps, later than the demand clock — would poison the bank
+// ready-times for demand reads issued in between, a known artefact of
+// call-order timestamp-reservation models.
+func (c *Channel) Access(blk mem.BlockAddr, write bool, now int64) int64 {
+	bankIdx, row := c.mapAddr(blk)
+	b := &c.banks[bankIdx]
+
+	if write {
+		c.Stats.Writes++
+		b.openRow = row
+		return now
+	}
+
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var cmdCycles int64
+	switch {
+	case b.openRow == row:
+		// Row-buffer hit: column access only.
+		cmdCycles = c.cfg.TCAS
+		c.Stats.RowHits++
+	case b.openRow < 0:
+		// Bank precharged: activate + column access.
+		cmdCycles = c.cfg.TRCD + c.cfg.TCAS
+		c.Stats.RowMisses++
+	default:
+		// Row conflict: precharge + activate + column access.
+		cmdCycles = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
+		c.Stats.RowMisses++
+		c.Stats.RowConflicts++
+	}
+	b.openRow = row
+
+	dataStart := start + c.cpuCycles(cmdCycles)
+	if c.busFree > dataStart {
+		dataStart = c.busFree
+	}
+	burst := c.cpuCycles(c.cfg.BurstCycles)
+	done := dataStart + burst
+	c.busFree = done
+	b.readyAt = dataStart // next command can overlap the burst
+	b.lastUsed = now
+	c.Stats.BusyCycles += burst
+
+	c.Stats.Reads++
+	c.Stats.TotalServiceLatency += done - now
+	return done
+}
+
+// MinLatency returns the unloaded row-hit latency in CPU cycles, i.e.
+// the floor any DRAM access pays.
+func (c *Channel) MinLatency() int64 {
+	return c.cpuCycles(c.cfg.TCAS) + c.cpuCycles(c.cfg.BurstCycles)
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (c *Channel) RowHitRate() float64 {
+	t := c.Stats.RowHits + c.Stats.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Stats.RowHits) / float64(t)
+}
+
+// AvgReadLatency returns the mean read service latency in CPU cycles.
+func (c *Channel) AvgReadLatency() float64 {
+	if c.Stats.Reads == 0 {
+		return 0
+	}
+	return float64(c.Stats.TotalServiceLatency) / float64(c.Stats.Reads)
+}
+
+// Memory is the memory controller: one or more channels with block
+// addresses interleaved across them.
+type Memory struct {
+	channels []*Channel
+}
+
+// NewMemory creates n identically configured channels.
+func NewMemory(cfg Config, n int) *Memory {
+	if n <= 0 {
+		panic("dram: need at least one channel")
+	}
+	m := &Memory{}
+	for i := 0; i < n; i++ {
+		m.channels = append(m.channels, NewChannel(cfg))
+	}
+	return m
+}
+
+// Access routes blk to its channel and serves it.
+func (m *Memory) Access(blk mem.BlockAddr, write bool, now int64) int64 {
+	return m.channels[uint64(blk)%uint64(len(m.channels))].Access(blk, write, now)
+}
+
+// MinLatency returns the unloaded row-hit latency in CPU cycles.
+func (m *Memory) MinLatency() int64 { return m.channels[0].MinLatency() }
+
+// Channels exposes the per-channel state for stats reporting.
+func (m *Memory) Channels() []*Channel { return m.channels }
+
+// TotalStats sums stats over all channels.
+func (m *Memory) TotalStats() Stats {
+	var s Stats
+	for _, ch := range m.channels {
+		s.Reads += ch.Stats.Reads
+		s.Writes += ch.Stats.Writes
+		s.RowHits += ch.Stats.RowHits
+		s.RowMisses += ch.Stats.RowMisses
+		s.RowConflicts += ch.Stats.RowConflicts
+		s.BusyCycles += ch.Stats.BusyCycles
+		s.TotalServiceLatency += ch.Stats.TotalServiceLatency
+	}
+	return s
+}

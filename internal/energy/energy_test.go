@@ -1,0 +1,82 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"graphmem/internal/stats"
+)
+
+func sampleStats() *stats.CoreStats {
+	s := &stats.CoreStats{Instructions: 1_000_000}
+	s.L1D = stats.CacheStats{Hits: 300_000, Misses: 50_000, Prefetches: 10_000, Writebacks: 5_000}
+	s.L2 = stats.CacheStats{Hits: 20_000, Misses: 30_000, Writebacks: 4_000}
+	s.LLC = stats.CacheStats{Hits: 5_000, Misses: 25_000, Writebacks: 3_000}
+	s.DTLB = stats.CacheStats{Hits: 340_000, Misses: 10_000}
+	s.STLB = stats.CacheStats{Hits: 9_000, Misses: 1_000}
+	s.DRAMReads = 30_000
+	s.DRAMWrites = 8_000
+	return s
+}
+
+func TestIntegrateBaseline(t *testing.T) {
+	b := Integrate(Paper22nm(), sampleStats(), false)
+	if b.TotalNJ <= 0 {
+		t.Fatal("no energy accumulated")
+	}
+	if b.Of("SDC") != 0 || b.Of("LP") != 0 || b.Of("SDCDir") != 0 {
+		t.Error("baseline charged for SDC structures")
+	}
+	// DRAM dominates graph workloads.
+	if b.Of("DRAM") < b.Of("L1D") {
+		t.Error("DRAM should dominate the breakdown")
+	}
+	if b.EnergyPerKiloInstrNJ() <= 0 {
+		t.Error("per-kilo-instruction energy missing")
+	}
+}
+
+func TestIntegrateSDCLPChargesProposal(t *testing.T) {
+	s := sampleStats()
+	s.SDC = stats.CacheStats{Hits: 40_000, Misses: 100_000, Writebacks: 9_000}
+	s.LPPredAverse = 140_000
+	s.LPPredFriendly = 350_000
+	s.LPTableMisses = 1_000
+	s.SDCDirLookups = 150_000
+	s.SDCDirEvictions = 2_000
+	b := Integrate(Paper22nm(), s, true)
+	if b.Of("SDC") == 0 || b.Of("LP") == 0 || b.Of("SDCDir") == 0 {
+		t.Fatal("proposal structures not charged")
+	}
+	// Section V-E's point: the additions are tiny vs the hierarchy.
+	proposal := b.Of("SDC") + b.Of("LP") + b.Of("SDCDir")
+	if proposal > 0.05*b.TotalNJ {
+		t.Errorf("proposal energy %.1f nJ is %.1f%% of total; paper argues negligible",
+			proposal, 100*proposal/b.TotalNJ)
+	}
+	// LP energy arithmetic: (reads+writes) * (0.010+0.015) over routed.
+	routed := float64(s.LPPredAverse + s.LPPredFriendly + s.LPTableMisses)
+	want := routed * (0.010 + 0.015)
+	if math.Abs(b.Of("LP")-want) > 1e-6 {
+		t.Errorf("LP energy = %f, want %f", b.Of("LP"), want)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Integrate(Paper22nm(), sampleStats(), false)
+	out := b.String()
+	for _, want := range []string{"dynamic energy", "DRAM", "L1D"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestZeroStats(t *testing.T) {
+	var s stats.CoreStats
+	b := Integrate(Paper22nm(), &s, false)
+	if b.TotalNJ != 0 || b.EnergyPerKiloInstrNJ() != 0 {
+		t.Error("empty stats produced energy")
+	}
+}

@@ -1,0 +1,252 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// The paper evaluates six input graphs (Table III): Web, Road, Twitter,
+// Kron, Urand and Friendster. Real multi-gigabyte graphs are not
+// available offline, so this file provides synthetic generators whose
+// degree distribution and vertex-ID locality match each graph's family:
+//
+//	Web        — power-law, strong ID locality (crawl order clusters links)
+//	Road       — near-planar grid, tiny degrees, huge diameter, weighted
+//	Twitter    — power-law (preferential attachment), weak locality
+//	Kron       — Graph500 Kronecker/R-MAT (a,b,c,d = .57,.19,.19,.05)
+//	Urand      — Erdős–Rényi uniform random
+//	Friendster — heavy power-law, shuffled IDs (worst locality)
+//
+// DESIGN.md documents this substitution. Every generator is fully
+// deterministic given its seed.
+
+func rng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Urand generates an Erdős–Rényi-style uniform random undirected graph
+// with n vertices and approximately m undirected edges (2m directed).
+func Urand(n int32, m int64, seed uint64) *Graph {
+	r := rng(seed)
+	edges := make([]Edge, 0, 2*m)
+	for i := int64(0); i < m; i++ {
+		u := int32(r.Int64N(int64(n)))
+		v := int32(r.Int64N(int64(n)))
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{Src: u, Dst: v}, Edge{Src: v, Dst: u})
+	}
+	return Build(n, edges, false)
+}
+
+// Kron generates a Graph500-style Kronecker (R-MAT) undirected graph
+// with 2^scale vertices and approximately edgeFactor*2^scale undirected
+// edges, using the canonical initiator (0.57, 0.19, 0.19, 0.05).
+func Kron(scale int, edgeFactor int64, seed uint64) *Graph {
+	return rmat(scale, edgeFactor, 0.57, 0.19, 0.19, seed, true)
+}
+
+// rmat samples edges from an R-MAT distribution over 2^scale vertices.
+// If symmetric, each sampled edge is added in both directions.
+func rmat(scale int, edgeFactor int64, a, b, c float64, seed uint64, symmetric bool) *Graph {
+	n := int32(1) << scale
+	m := edgeFactor * int64(n)
+	r := rng(seed)
+	cap64 := 2 * m
+	if !symmetric {
+		cap64 = m
+	}
+	edges := make([]Edge, 0, cap64)
+	ab := a + b
+	abc := a + b + c
+	for i := int64(0); i < m; i++ {
+		var u, v int32
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// top-left: no bits set
+			case p < ab:
+				v |= 1 << bit
+			case p < abc:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		// Permute bits lightly to avoid the degenerate vertex-0 hub
+		// dominating ID 0 only; Graph500 applies a random permutation.
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{Src: u, Dst: v})
+		if symmetric {
+			edges = append(edges, Edge{Src: v, Dst: u})
+		}
+	}
+	return Build(n, edges, false)
+}
+
+// PowerLaw generates a preferential-attachment (Barabási–Albert style)
+// undirected graph: each new vertex attaches outDeg edges, each endpoint
+// chosen either uniformly (with probability uniform) or proportionally
+// to degree by copying the endpoint of a previously generated edge. When
+// shuffle is true the vertex IDs are randomly permuted afterwards,
+// destroying any ID locality (the Friendster regime); otherwise the
+// generation order itself provides mild locality (the Twitter regime).
+func PowerLaw(n int32, outDeg int, uniform float64, shuffle bool, seed uint64) *Graph {
+	r := rng(seed)
+	edges := make([]Edge, 0, 2*int64(n)*int64(outDeg))
+	// Seed clique over the first outDeg+1 vertices.
+	seedN := int32(outDeg + 1)
+	if seedN > n {
+		seedN = n
+	}
+	for u := int32(0); u < seedN; u++ {
+		for v := u + 1; v < seedN; v++ {
+			edges = append(edges, Edge{Src: u, Dst: v}, Edge{Src: v, Dst: u})
+		}
+	}
+	for u := seedN; u < n; u++ {
+		for k := 0; k < outDeg; k++ {
+			var v int32
+			if r.Float64() < uniform || len(edges) == 0 {
+				v = int32(r.Int64N(int64(u)))
+			} else {
+				// Copy an endpoint of an existing edge: endpoint choice
+				// is degree-proportional.
+				v = edges[r.Int64N(int64(len(edges)))].Dst
+			}
+			if v == u {
+				continue
+			}
+			edges = append(edges, Edge{Src: u, Dst: v}, Edge{Src: v, Dst: u})
+		}
+	}
+	if shuffle {
+		perm := r.Perm(int(n))
+		for i := range edges {
+			edges[i].Src = int32(perm[edges[i].Src])
+			edges[i].Dst = int32(perm[edges[i].Dst])
+		}
+	}
+	return Build(n, edges, false)
+}
+
+// WebLike generates a directed power-law graph with strong vertex-ID
+// locality: vertices are grouped into contiguous "hosts" and most links
+// stay within a host or point to nearby hosts, mimicking crawl-ordered
+// web graphs. Degrees follow a heavy tail via degree-proportional copy.
+func WebLike(n int32, avgDeg int, seed uint64) *Graph {
+	r := rng(seed)
+	hostSize := int32(256)
+	edges := make([]Edge, 0, int64(n)*int64(avgDeg))
+	for u := int32(0); u < n; u++ {
+		deg := 1 + r.IntN(2*avgDeg-1) // mean ~avgDeg
+		host := u / hostSize
+		for k := 0; k < deg; k++ {
+			var v int32
+			switch p := r.Float64(); {
+			case p < 0.70:
+				// Intra-host link: excellent locality.
+				v = host*hostSize + int32(r.IntN(int(hostSize)))
+			case p < 0.90:
+				// Near-host link within a 16-host neighbourhood.
+				base := (host - 8) * hostSize
+				if base < 0 {
+					base = 0
+				}
+				span := int64(16 * hostSize)
+				if int64(base)+span > int64(n) {
+					span = int64(n) - int64(base)
+				}
+				v = base + int32(r.Int64N(span))
+			default:
+				// Global link, degree-proportional when possible to
+				// create hub pages.
+				if len(edges) > 0 && r.Float64() < 0.5 {
+					v = edges[r.Int64N(int64(len(edges)))].Dst
+				} else {
+					v = int32(r.Int64N(int64(n)))
+				}
+			}
+			if v >= n {
+				v = n - 1
+			}
+			if v != u {
+				edges = append(edges, Edge{Src: u, Dst: v})
+			}
+		}
+	}
+	return Build(n, edges, false)
+}
+
+// RoadGrid generates a weighted undirected graph shaped like a road
+// network: a width×height 4-neighbour lattice with a small fraction of
+// diagonal shortcuts removed/added for irregularity. Edge weights are
+// uniform in [1, maxW].
+func RoadGrid(width, height int32, maxW int32, seed uint64) *Graph {
+	r := rng(seed)
+	n := width * height
+	edges := make([]Edge, 0, int64(n)*4)
+	id := func(x, y int32) int32 { return y*width + x }
+	addBoth := func(u, v int32) {
+		w := 1 + r.Int32N(maxW)
+		edges = append(edges, Edge{Src: u, Dst: v, W: w}, Edge{Src: v, Dst: u, W: w})
+	}
+	for y := int32(0); y < height; y++ {
+		for x := int32(0); x < width; x++ {
+			u := id(x, y)
+			// Drop ~3% of lattice edges to create irregular detours.
+			if x+1 < width && r.Float64() > 0.03 {
+				addBoth(u, id(x+1, y))
+			}
+			if y+1 < height && r.Float64() > 0.03 {
+				addBoth(u, id(x, y+1))
+			}
+			// Rare longer-range "highway" edge.
+			if r.Float64() < 0.005 {
+				dx := int32(r.IntN(16)) - 8
+				dy := int32(r.IntN(16)) - 8
+				nx, ny := x+dx, y+dy
+				if nx >= 0 && nx < width && ny >= 0 && ny < height && id(nx, ny) != u {
+					addBoth(u, id(nx, ny))
+				}
+			}
+		}
+	}
+	return Build(n, edges, true)
+}
+
+// AddUnitWeights returns a weighted copy of g with all weights drawn
+// uniformly from [1, maxW]; used to run SSSP on unweighted inputs, as
+// GAP does.
+func AddUnitWeights(g *Graph, maxW int32, seed uint64) *Graph {
+	r := rng(seed)
+	w := make([]int32, len(g.NA))
+	for i := range w {
+		w[i] = 1 + r.Int32N(maxW)
+	}
+	return &Graph{N: g.N, OA: g.OA, NA: g.NA, W: w}
+}
+
+// DegreeHistogram returns counts of out-degrees bucketed by power of
+// two: bucket i counts vertices with degree in [2^i, 2^(i+1)). Bucket 0
+// includes degree 0 and 1.
+func DegreeHistogram(g *Graph) []int64 {
+	var buckets []int64
+	for u := int32(0); u < g.N; u++ {
+		d := g.Degree(u)
+		b := 0
+		if d > 1 {
+			b = int(math.Log2(float64(d)))
+		}
+		for len(buckets) <= b {
+			buckets = append(buckets, 0)
+		}
+		buckets[b]++
+	}
+	return buckets
+}

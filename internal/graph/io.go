@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Graph I/O: the paper evaluates real graphs (Twitter, Friendster, ...)
+// that are not redistributable here, but users who have them can load
+// edge lists with ReadEdgeList and cache the built CSR with
+// WriteBinary/ReadBinary, then run any experiment on them via the
+// public API.
+
+var graphMagic = [8]byte{'G', 'M', 'G', 'R', 'P', 'H', '0', '1'}
+
+// WriteBinary serializes the CSR graph in a compact little-endian
+// format (magic, N, M, weighted flag, OA, NA, optional W).
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(graphMagic[:]); err != nil {
+		return err
+	}
+	var hdr [17]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(g.N))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(g.NA)))
+	if g.Weighted() {
+		hdr[16] = 1
+	}
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range g.OA {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		if _, err := bw.Write(buf[:8]); err != nil {
+			return err
+		}
+	}
+	for _, v := range g.NA {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	if g.Weighted() {
+		for _, v := range g.W {
+			binary.LittleEndian.PutUint32(buf[:], uint32(v))
+			if _, err := bw.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and validates
+// its structure.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if magic != graphMagic {
+		return nil, errors.New("graph: bad magic, not a gmgraph file")
+	}
+	var hdr [17]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading sizes: %w", err)
+	}
+	n := int32(binary.LittleEndian.Uint32(hdr[0:]))
+	m := int64(binary.LittleEndian.Uint64(hdr[4:]))
+	weighted := hdr[16] == 1
+	if n < 0 || m < 0 {
+		return nil, errors.New("graph: negative sizes")
+	}
+	g := &Graph{N: n, OA: make([]int64, n+1), NA: make([]int32, m)}
+	var buf [8]byte
+	for i := range g.OA {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return nil, fmt.Errorf("graph: reading OA: %w", err)
+		}
+		g.OA[i] = int64(binary.LittleEndian.Uint64(buf[:]))
+	}
+	for i := range g.NA {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("graph: reading NA: %w", err)
+		}
+		g.NA[i] = int32(binary.LittleEndian.Uint32(buf[:]))
+	}
+	if weighted {
+		g.W = make([]int32, m)
+		for i := range g.W {
+			if _, err := io.ReadFull(br, buf[:4]); err != nil {
+				return nil, fmt.Errorf("graph: reading W: %w", err)
+			}
+			g.W[i] = int32(binary.LittleEndian.Uint32(buf[:]))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: corrupt file: %w", err)
+	}
+	return g, nil
+}
+
+// ReadEdgeList parses a whitespace-separated edge-list text stream
+// ("src dst [weight]" per line; '#' and '%' lines are comments), the
+// format SNAP and GAP distribute graphs in. Vertex IDs may be sparse;
+// they are used as-is up to the maximum seen. If undirected is set,
+// each edge is added in both directions.
+func ReadEdgeList(r io.Reader, undirected bool) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	var maxID int64
+	weighted := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: need at least 2 fields", lineNo)
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %w", lineNo, err)
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %w", lineNo, err)
+		}
+		if src < 0 || dst < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		var w int64 = 1
+		if len(fields) >= 3 {
+			w, err = strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNo, err)
+			}
+			weighted = true
+		}
+		if src > maxID {
+			maxID = src
+		}
+		if dst > maxID {
+			maxID = dst
+		}
+		edges = append(edges, Edge{Src: int32(src), Dst: int32(dst), W: int32(w)})
+		if undirected {
+			edges = append(edges, Edge{Src: int32(dst), Dst: int32(src), W: int32(w)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, errors.New("graph: empty edge list")
+	}
+	return Build(int32(maxID)+1, edges, weighted), nil
+}

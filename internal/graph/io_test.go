@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.N != b.N || len(a.NA) != len(b.NA) || a.Weighted() != b.Weighted() {
+		return false
+	}
+	for i := range a.OA {
+		if a.OA[i] != b.OA[i] {
+			return false
+		}
+	}
+	for i := range a.NA {
+		if a.NA[i] != b.NA[i] {
+			return false
+		}
+	}
+	if a.Weighted() {
+		for i := range a.W {
+			if a.W[i] != b.W[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		tiny(),
+		Kron(9, 8, 5),
+		RoadGrid(12, 12, 30, 6), // weighted
+	} {
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatal("round trip changed the graph")
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Urand(200, 700, seed)
+		var buf bytes.Buffer
+		if g.WriteBinary(&buf) != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		return err == nil && graphsEqual(g, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("hello world, not a graph"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated file.
+	var buf bytes.Buffer
+	g := tiny()
+	g.WriteBinary(&buf)
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Corrupted adjacency (out-of-range neighbor).
+	full := append([]byte(nil), buf.Bytes()...)
+	full[len(full)-1] = 0x7f
+	if _, err := ReadBinary(bytes.NewReader(full)); err == nil {
+		t.Error("corrupt adjacency accepted")
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment line
+% another comment
+0 1
+1 2
+2 0
+
+3 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.NumEdges() != 4 {
+		t.Fatalf("N=%d M=%d", g.N, g.NumEdges())
+	}
+	if g.Weighted() {
+		t.Error("unweighted list produced weights")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(3, 1) {
+		t.Error("edges missing")
+	}
+}
+
+func TestReadEdgeListWeightedUndirected(t *testing.T) {
+	in := "0 1 5\n1 2 7\n"
+	g, err := ReadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("M=%d, want 4 (symmetrized)", g.NumEdges())
+	}
+	if !g.Weighted() {
+		t.Fatal("weights dropped")
+	}
+	adj, ws := g.Neighbors(1), g.Weights(1)
+	want := map[int32]int32{0: 5, 2: 7}
+	for i, v := range adj {
+		if ws[i] != want[v] {
+			t.Errorf("weight(1,%d) = %d, want %d", v, ws[i], want[v])
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"0\n",           // too few fields
+		"a b\n",         // non-numeric
+		"0 -1\n",        // negative id
+		"0 1 notanum\n", // bad weight
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), false); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"graphmem/internal/sim"
+	"graphmem/internal/stats"
+)
+
+// mixCores is the thread count of the paper's multi-core mixes.
+const mixCores = 4
+
+// Fig14Result is the multi-core evaluation (Fig. 14): per-mix weighted
+// speed-ups of each scheme over the Baseline, plus geomeans.
+type Fig14Result struct {
+	Mixes   [][]WorkloadID
+	Schemes []string
+	// WS[s][m] is the weighted speed-up of scheme s on mix m,
+	// normalized to Baseline (1.0 = parity).
+	WS [][]float64
+	// GeomeanPct per scheme and the best per-scheme mix.
+	GeomeanPct []float64
+	MaxPct     []float64
+}
+
+// GenerateMixes draws n 4-thread mixes uniformly (with repetition) from
+// the workload pool, deterministically from seed, like the paper's 50
+// random mixes.
+func GenerateMixes(pool []WorkloadID, n int, seed uint64) [][]WorkloadID {
+	if pool == nil {
+		pool = AllWorkloads()
+	}
+	r := rand.New(rand.NewPCG(seed, 0x5eed))
+	mixes := make([][]WorkloadID, n)
+	for i := range mixes {
+		mix := make([]WorkloadID, mixCores)
+		for j := range mix {
+			mix[j] = pool[r.IntN(len(pool))]
+		}
+		mixes[i] = mix
+	}
+	return mixes
+}
+
+// singleIPC returns the isolated IPC of a workload: it runs alone on
+// the Baseline multi-core machine ("IPC in isolation on the same
+// system", Section IV-D), memoized.
+func (wb *Workbench) singleIPC(id WorkloadID) float64 {
+	key := id.String()
+	wb.mu.Lock()
+	if v, ok := wb.singles[key]; ok {
+		wb.mu.Unlock()
+		return v
+	}
+	wb.mu.Unlock()
+
+	cfg := wb.Profile.BaseConfig(mixCores).
+		WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
+	ws := make([]sim.Workload, mixCores)
+	ws[0] = wb.Workload(id, 0)
+	res := sim.RunMultiCore(cfg, ws)
+	v := res.PerCore[0].IPC()
+	wb.log("isolated %-22s IPC=%.3f", id, v)
+
+	wb.mu.Lock()
+	wb.singles[key] = v
+	wb.mu.Unlock()
+	return v
+}
+
+// runMix simulates one mix on one config and returns per-thread shared
+// IPCs.
+func (wb *Workbench) runMix(cfg sim.Config, mix []WorkloadID) []float64 {
+	cfg = cfg.WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
+	ws := make([]sim.Workload, mixCores)
+	for i, id := range mix {
+		ws[i] = wb.Workload(id, i)
+	}
+	res := sim.RunMultiCore(cfg, ws)
+	return res.IPCs()
+}
+
+// Fig14 runs the multi-core comparison over the profile's mix count
+// (or len(mixes) if provided).
+func (wb *Workbench) Fig14(mixes [][]WorkloadID) *Fig14Result {
+	if mixes == nil {
+		mixes = GenerateMixes(nil, wb.Profile.Mixes, 14)
+	}
+	base4 := wb.Profile.BaseConfig(mixCores)
+	configs := []sim.Config{
+		base4.WithBigL1D(),
+		base4.WithDistill(),
+		base4.WithTOPT(),
+		base4.With2xLLC(),
+		base4.WithSDCLP(),
+	}
+	res := &Fig14Result{Mixes: mixes}
+
+	// Per-thread isolated IPCs (shared across schemes).
+	singles := make([][]float64, len(mixes))
+	baseShared := make([][]float64, len(mixes))
+	for m, mix := range mixes {
+		s := make([]float64, mixCores)
+		for i, id := range mix {
+			s[i] = wb.singleIPC(id)
+		}
+		singles[m] = s
+		baseShared[m] = wb.runMix(base4, mix)
+		wb.log("mix %02d baseline shared IPCs %v", m, baseShared[m])
+	}
+
+	for _, cfg := range configs {
+		res.Schemes = append(res.Schemes, cfg.Name)
+		ws := make([]float64, len(mixes))
+		maxPct := 0.0
+		for m, mix := range mixes {
+			shared := wb.runMix(cfg, mix)
+			ws[m] = stats.WeightedSpeedup(shared, singles[m], baseShared[m])
+			if p := (ws[m] - 1) * 100; p > maxPct {
+				maxPct = p
+			}
+			wb.log("mix %02d %-14s weighted speed-up %.3f", m, cfg.Name, ws[m])
+		}
+		res.WS = append(res.WS, ws)
+		res.GeomeanPct = append(res.GeomeanPct, stats.GeoMeanSpeedup(ws))
+		res.MaxPct = append(res.MaxPct, maxPct)
+	}
+	return res
+}
+
+// SchemeIndex returns the row of the named scheme, or -1.
+func (r *Fig14Result) SchemeIndex(name string) int {
+	for i, s := range r.Schemes {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table renders the result sorted by SDC+LP's improvement.
+func (r *Fig14Result) Table() *Table {
+	t := &Table{ID: "fig14", Title: "Multi-core weighted speed-up over Baseline (Fig. 14)"}
+	t.Header = append([]string{"Mix"}, r.Schemes...)
+	last := len(r.Schemes) - 1
+	order := make([]int, len(r.Mixes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return r.WS[last][order[a]] < r.WS[last][order[b]] })
+	for _, m := range order {
+		mixName := ""
+		for j, id := range r.Mixes[m] {
+			if j > 0 {
+				mixName += "+"
+			}
+			mixName += id.String()
+		}
+		row := []any{mixName}
+		for s := range r.Schemes {
+			row = append(row, pct(r.WS[s][m]))
+		}
+		t.AddRow(row...)
+	}
+	geo := []any{"geomean"}
+	for s := range r.Schemes {
+		geo = append(geo, fmt.Sprintf("%+.1f%%", r.GeomeanPct[s]))
+	}
+	t.AddRow(geo...)
+	t.Notes = append(t.Notes, "paper geomeans: L1D ISO 0.02%, Distill -0.04%, T-OPT 6.4%, 2xLLC 2.4%, SDC+LP 20.2% (max 69.3%)")
+	return t
+}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+
+	"graphmem/internal/mem"
+	"graphmem/internal/sim"
+	"graphmem/internal/trace"
+)
+
+// Fig3Result is the stride/DRAM-probability characterization of Fig. 3:
+// for each stride interval, the probability that an access with that
+// stride (vs the previous access by the same PC) was served by DRAM.
+type Fig3Result struct {
+	Workload WorkloadID
+	Labels   []string
+	Prob     []float64 // -1 for empty buckets
+	Samples  []int64
+}
+
+// Fig3 reproduces the characterization on the given workload (the
+// paper uses cc.friendster).
+func (wb *Workbench) Fig3(id WorkloadID) *Fig3Result {
+	cfg := wb.BaseConfig()
+	w := wb.Workload(id, 0)
+	sys := sim.NewSystem(cfg, []sim.Workload{w})
+	prof := trace.NewStrideDRAMProfiler()
+	sys.Observer = func(coreID int, pc uint64, blk mem.BlockAddr, served mem.ServedBy) {
+		prof.Observe(pc, blk, served)
+	}
+	sys.RunCore0(w)
+	res := &Fig3Result{Workload: id}
+	for b := 0; b < trace.StrideBuckets; b++ {
+		res.Labels = append(res.Labels, trace.BucketLabel(b))
+		res.Prob = append(res.Prob, prof.DRAMProbability(b))
+		res.Samples = append(res.Samples, prof.Samples(b))
+	}
+	return res
+}
+
+// Table renders the result.
+func (r *Fig3Result) Table() *Table {
+	t := &Table{ID: "fig3", Title: fmt.Sprintf("P(served by DRAM) per stride interval, %s (Fig. 3)", r.Workload),
+		Header: []string{"Stride (blocks)", "P(DRAM)", "Samples"}}
+	for i, l := range r.Labels {
+		p := "-"
+		if r.Prob[i] >= 0 {
+			p = fmt.Sprintf("%.1f%%", r.Prob[i]*100)
+		}
+		t.AddRow(l, p, r.Samples[i])
+	}
+	t.Notes = append(t.Notes, "paper: 11.6% for strides in (1e0,1e1], 97.6% for (1e5,1e6]")
+	return t
+}

@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"graphmem/internal/sim"
+	"graphmem/internal/stats"
+)
+
+// SpeedupResult holds per-workload speed-ups of several schemes over
+// the Baseline, plus geometric means — the shape of Figs. 7 and 13.
+type SpeedupResult struct {
+	ID        string
+	Title     string
+	Workloads []WorkloadID
+	Schemes   []string
+	// Speedup[s][w] is scheme s's IPC ratio vs Baseline on workload w.
+	Speedup [][]float64
+	// GeomeanPct[s] is the percentage geometric-mean improvement.
+	GeomeanPct []float64
+}
+
+// runSpeedups measures the given configs against the Baseline over the
+// workloads.
+func (wb *Workbench) runSpeedups(id, title string, configs []sim.Config, subset []WorkloadID) *SpeedupResult {
+	if subset == nil {
+		subset = AllWorkloads()
+	}
+	res := &SpeedupResult{ID: id, Title: title, Workloads: subset}
+	base := wb.BaseConfig()
+	baseIPC := make([]float64, len(subset))
+	for i, w := range subset {
+		baseIPC[i] = wb.RunSingle(base, w).IPC()
+	}
+	for _, cfg := range configs {
+		res.Schemes = append(res.Schemes, cfg.Name)
+		row := make([]float64, len(subset))
+		for i, w := range subset {
+			row[i] = wb.RunSingle(cfg, w).IPC() / baseIPC[i]
+		}
+		res.Speedup = append(res.Speedup, row)
+		res.GeomeanPct = append(res.GeomeanPct, stats.GeoMeanSpeedup(row))
+	}
+	return res
+}
+
+// Fig7 compares the four prior schemes and SDC+LP against the Baseline
+// over the workloads (nil = all 36), reproducing Fig. 7.
+func (wb *Workbench) Fig7(subset []WorkloadID) *SpeedupResult {
+	base := wb.Profile.BaseConfig(1)
+	return wb.runSpeedups("fig7", "Single-core speed-up over Baseline (Fig. 7)",
+		[]sim.Config{
+			base.WithBigL1D(),
+			base.WithDistill(),
+			base.WithTOPT(),
+			base.With2xLLC(),
+			base.WithSDCLP(),
+		}, subset)
+}
+
+// Fig13 compares the Expert Programmer routing against SDC+LP (Fig. 13).
+func (wb *Workbench) Fig13(subset []WorkloadID) *SpeedupResult {
+	base := wb.Profile.BaseConfig(1)
+	return wb.runSpeedups("fig13", "SDC+LP vs Expert Programmer (Fig. 13)",
+		[]sim.Config{
+			base.WithExpert(),
+			base.WithSDCLP(),
+		}, subset)
+}
+
+// SchemeIndex returns the row index of the named scheme, or -1.
+func (r *SpeedupResult) SchemeIndex(name string) int {
+	for i, s := range r.Schemes {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table renders the result sorted by the last scheme's speed-up, as the
+// paper's figures are.
+func (r *SpeedupResult) Table() *Table {
+	t := &Table{ID: r.ID, Title: r.Title}
+	t.Header = append([]string{"Workload"}, r.Schemes...)
+	order := make([]int, len(r.Workloads))
+	for i := range order {
+		order[i] = i
+	}
+	last := len(r.Schemes) - 1
+	sort.Slice(order, func(a, b int) bool {
+		return r.Speedup[last][order[a]] < r.Speedup[last][order[b]]
+	})
+	for _, i := range order {
+		row := []any{r.Workloads[i].String()}
+		for s := range r.Schemes {
+			row = append(row, pct(r.Speedup[s][i]))
+		}
+		t.AddRow(row...)
+	}
+	geo := []any{"geomean"}
+	for s := range r.Schemes {
+		geo = append(geo, fmt.Sprintf("%+.1f%%", r.GeomeanPct[s]))
+	}
+	t.AddRow(geo...)
+	return t
+}

@@ -1,0 +1,263 @@
+// Package harness reproduces the paper's evaluation: it owns the
+// workload registry (the 6 GAP kernels x 6 input graphs of Tables II
+// and III), the scale profiles, and one runnable experiment per table
+// and figure of the paper. Each experiment returns both the numeric
+// series and a renderable text table; cmd/gmreport and the repository's
+// bench_test.go are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphmem/internal/graph"
+	"graphmem/internal/kernels"
+	"graphmem/internal/mem"
+	"graphmem/internal/sim"
+)
+
+// GraphNames lists the six inputs in Table III order.
+var GraphNames = []string{"web", "road", "twitter", "kron", "urand", "friendster"}
+
+// WorkloadID names one kernel x graph combination ("cc.friendster").
+type WorkloadID struct {
+	Kernel string
+	Graph  string
+}
+
+// String implements fmt.Stringer.
+func (w WorkloadID) String() string { return w.Kernel + "." + w.Graph }
+
+// AllWorkloads returns the 36 combinations in kernel-major Table II/III
+// order.
+func AllWorkloads() []WorkloadID {
+	var out []WorkloadID
+	for _, k := range kernels.Names() {
+		for _, g := range GraphNames {
+			out = append(out, WorkloadID{Kernel: k, Graph: g})
+		}
+	}
+	return out
+}
+
+// GraphSpec builds one synthetic input graph.
+type GraphSpec struct {
+	Name  string
+	Build func() *graph.Graph
+}
+
+// Profile is a reproduction scale: which machine, which graph sizes,
+// which instruction windows, and how many multi-core mixes.
+type Profile struct {
+	Name string
+	// BaseConfig returns the baseline machine for the given core count.
+	BaseConfig func(cores int) sim.Config
+	// Graphs maps Table III names to builders.
+	Graphs map[string]GraphSpec
+	// Warmup/Measure are single-core windows; MixWarmup/MixMeasure the
+	// per-thread multi-core ones.
+	Warmup, Measure       int64
+	MixWarmup, MixMeasure int64
+	// Mixes is the number of 4-thread mixes for Fig. 14.
+	Mixes int
+}
+
+func graphSet(vBig, vRoadSide int32, degPL, degWeb int, kronScale int, kronEF int64) map[string]GraphSpec {
+	return map[string]GraphSpec{
+		"web": {Name: "web", Build: func() *graph.Graph {
+			return graph.WebLike(vBig, degWeb, 0x3EB)
+		}},
+		"road": {Name: "road", Build: func() *graph.Graph {
+			return graph.RoadGrid(vRoadSide, vRoadSide, 255, 0x70AD)
+		}},
+		"twitter": {Name: "twitter", Build: func() *graph.Graph {
+			return graph.PowerLaw(vBig, degPL, 0.15, false, 0x7517)
+		}},
+		"kron": {Name: "kron", Build: func() *graph.Graph {
+			return graph.Kron(kronScale, kronEF, 0x6501)
+		}},
+		"urand": {Name: "urand", Build: func() *graph.Graph {
+			return graph.Urand(1<<uint(kronScale), kronEF*int64(1)<<uint(kronScale)/2, 0x0a4d)
+		}},
+		"friendster": {Name: "friendster", Build: func() *graph.Graph {
+			return graph.PowerLaw(vBig+vBig/4, degPL+2, 0.05, true, 0xF12E)
+		}},
+	}
+}
+
+// Bench returns the fast profile: 4-8x shrunk hierarchy, ~0.5M-vertex
+// graphs (property arrays ~10x the shrunk LLC), short windows. Used by
+// tests and testing.B benchmarks.
+func Bench() Profile {
+	return Profile{
+		Name:       "bench",
+		BaseConfig: func(cores int) sim.Config { return sim.TableI(cores).BenchScale() },
+		Graphs:     graphSet(450_000, 700, 6, 8, 19, 8),
+		// Warm-up covers the sequential initialization phase of the
+		// largest bench graphs (e.g. PR's contrib refresh, ~6 instr per
+		// vertex) so the measured window is the data-dependent phase
+		// the paper's SimPoints capture.
+		Warmup: 4_000_000, Measure: 4_000_000,
+		MixWarmup: 3_500_000, MixMeasure: 1_500_000,
+		Mixes: 8,
+	}
+}
+
+// Small returns the default profile: the full Table I machine with
+// ~2M-vertex graphs (property arrays ~6x the LLC).
+func Small() Profile {
+	return Profile{
+		Name:       "small",
+		BaseConfig: sim.TableI,
+		Graphs:     graphSet(2_000_000, 1400, 8, 8, 21, 8),
+		Warmup:     16_000_000, Measure: 12_000_000,
+		MixWarmup: 16_000_000, MixMeasure: 4_000_000,
+		Mixes: 50,
+	}
+}
+
+// Full returns the largest profile this substrate supports: the Table I
+// machine with ~4M-vertex graphs (property arrays ~12x the LLC).
+func Full() Profile {
+	return Profile{
+		Name:       "full",
+		BaseConfig: sim.TableI,
+		Graphs:     graphSet(4_000_000, 2000, 8, 8, 22, 6),
+		Warmup:     30_000_000, Measure: 20_000_000,
+		MixWarmup: 30_000_000, MixMeasure: 6_000_000,
+		Mixes: 50,
+	}
+}
+
+// ProfileByName resolves "bench", "small" or "full".
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "bench":
+		return Bench(), nil
+	case "small", "":
+		return Small(), nil
+	case "full":
+		return Full(), nil
+	default:
+		return Profile{}, fmt.Errorf("harness: unknown profile %q", name)
+	}
+}
+
+// Workbench caches graphs and simulation results for one profile so
+// experiments that share runs (Fig. 7/8/9/13) don't recompute them.
+type Workbench struct {
+	Profile Profile
+	// Progress, when set, receives one line per completed run.
+	Progress func(msg string)
+
+	mu      sync.Mutex
+	graphs  map[string]*graph.Graph
+	results map[string]*sim.Result
+	singles map[string]float64 // isolated IPC cache for Fig. 14
+}
+
+// NewWorkbench creates an empty workbench for the profile.
+func NewWorkbench(p Profile) *Workbench {
+	return &Workbench{
+		Profile: p,
+		graphs:  make(map[string]*graph.Graph),
+		results: make(map[string]*sim.Result),
+		singles: make(map[string]float64),
+	}
+}
+
+func (wb *Workbench) log(format string, args ...any) {
+	if wb.Progress != nil {
+		wb.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Graph returns (building and caching on first use) the named input.
+func (wb *Workbench) Graph(name string) *graph.Graph {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	if g, ok := wb.graphs[name]; ok {
+		return g
+	}
+	spec, ok := wb.Profile.Graphs[name]
+	if !ok {
+		panic("harness: unknown graph " + name)
+	}
+	wb.log("building graph %s (%s profile)", name, wb.Profile.Name)
+	g := spec.Build()
+	wb.graphs[name] = g
+	return g
+}
+
+// DropGraph evicts a cached graph (memory control for big profiles).
+func (wb *Workbench) DropGraph(name string) {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	delete(wb.graphs, name)
+}
+
+// Workload prepares the kernel instance for id in core slot's address
+// window. Instances are cheap relative to simulation and are not
+// cached (kernels keep mutable state).
+func (wb *Workbench) Workload(id WorkloadID, slot int) sim.Workload {
+	if id.Graph == "reg" {
+		build, ok := kernels.RegularBuilders()[id.Kernel]
+		if !ok {
+			panic("harness: unknown regular kernel " + id.Kernel)
+		}
+		space := mem.NewSpace(slot)
+		return sim.Workload{Name: id.String(), Inst: build(nil, space), Space: space}
+	}
+	build, ok := kernels.Registry()[id.Kernel]
+	if !ok {
+		panic("harness: unknown kernel " + id.Kernel)
+	}
+	g := wb.Graph(id.Graph)
+	space := mem.NewSpace(slot)
+	return sim.Workload{Name: id.String(), Inst: build(g, space), Space: space}
+}
+
+// configured applies the profile's windows to a config.
+func (wb *Workbench) configured(cfg sim.Config) sim.Config {
+	return cfg.WithWindows(wb.Profile.Warmup, wb.Profile.Measure)
+}
+
+// BaseConfig returns the profile's single-core baseline machine.
+func (wb *Workbench) BaseConfig() sim.Config {
+	return wb.configured(wb.Profile.BaseConfig(1))
+}
+
+// RunSingle simulates workload id on cfg (with profile windows),
+// memoizing by (config name, workload).
+func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
+	key := cfg.Name + "|" + id.String()
+	wb.mu.Lock()
+	if r, ok := wb.results[key]; ok {
+		wb.mu.Unlock()
+		return r
+	}
+	wb.mu.Unlock()
+
+	cfg = wb.configured(cfg)
+	w := wb.Workload(id, 0)
+	res := sim.RunSingleCore(cfg, w)
+	wb.log("ran %-22s %-14s IPC=%.3f", id, cfg.Name, res.IPC())
+
+	wb.mu.Lock()
+	wb.results[key] = res
+	wb.mu.Unlock()
+	return res
+}
+
+// SortedResultKeys exposes the memoized run keys (for tests).
+func (wb *Workbench) SortedResultKeys() []string {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	keys := make([]string, 0, len(wb.results))
+	for k := range wb.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

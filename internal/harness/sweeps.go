@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"fmt"
+
+	"graphmem/internal/stats"
+)
+
+// Fig10Result is the SDC size exploration (Fig. 10): per-size SDC MPKI
+// and geomean speed-up.
+type Fig10Result struct {
+	SizesKB    []int
+	AvgSDCMPKI []float64
+	GeomeanPct []float64
+}
+
+// Fig10 sweeps the SDC size over 8/16/32 KiB with the associativity and
+// latency pairings of Section V-B1.
+func (wb *Workbench) Fig10(subset []WorkloadID) *Fig10Result {
+	if subset == nil {
+		subset = AllWorkloads()
+	}
+	res := &Fig10Result{SizesKB: []int{8, 16, 32}}
+	base := wb.BaseConfig()
+	baseIPC := make([]float64, len(subset))
+	for i, w := range subset {
+		baseIPC[i] = wb.RunSingle(base, w).IPC()
+	}
+	for _, kb := range res.SizesKB {
+		cfg := wb.Profile.BaseConfig(1).WithSDCLP().WithSDCSize(kb)
+		var mpki float64
+		ratios := make([]float64, len(subset))
+		for i, w := range subset {
+			r := wb.RunSingle(cfg, w)
+			mpki += r.Stats.SDC.MPKI(r.Stats.Instructions)
+			ratios[i] = r.IPC() / baseIPC[i]
+		}
+		res.AvgSDCMPKI = append(res.AvgSDCMPKI, mpki/float64(len(subset)))
+		res.GeomeanPct = append(res.GeomeanPct, stats.GeoMeanSpeedup(ratios))
+	}
+	return res
+}
+
+// Table renders both panels of Fig. 10.
+func (r *Fig10Result) Table() *Table {
+	t := &Table{ID: "fig10", Title: "SDC size exploration (Fig. 10a/10b)",
+		Header: []string{"SDC size", "avg SDC MPKI", "geomean speed-up"}}
+	for i, kb := range r.SizesKB {
+		t.AddRow(fmt.Sprintf("%d KiB", kb),
+			fmt.Sprintf("%.1f", r.AvgSDCMPKI[i]),
+			fmt.Sprintf("%+.1f%%", r.GeomeanPct[i]))
+	}
+	t.Notes = append(t.Notes, "paper: MPKI 50.5/49.1/48.0; 8 KiB performs best due to 1-cycle latency")
+	return t
+}
+
+// SweepResult is a one-dimensional design sweep (Figs. 11, 12): the
+// geomean speed-up per swept value.
+type SweepResult struct {
+	ID         string
+	Title      string
+	Param      string
+	Values     []string
+	GeomeanPct []float64
+	Note       string
+}
+
+// Table renders the sweep.
+func (r *SweepResult) Table() *Table {
+	t := &Table{ID: r.ID, Title: r.Title, Header: []string{r.Param, "geomean speed-up"}}
+	for i, v := range r.Values {
+		t.AddRow(v, fmt.Sprintf("%+.1f%%", r.GeomeanPct[i]))
+	}
+	if r.Note != "" {
+		t.Notes = append(t.Notes, r.Note)
+	}
+	return t
+}
+
+// Fig11 sweeps the LP entry count with a fully-associative table
+// (8/16/32/64 entries).
+func (wb *Workbench) Fig11(subset []WorkloadID) *SweepResult {
+	if subset == nil {
+		subset = AllWorkloads()
+	}
+	res := &SweepResult{ID: "fig11", Title: "LP fully-associative entry sweep (Fig. 11)", Param: "entries",
+		Note: "paper: 13.7% / 17.9% / 20.7% / 20.7%"}
+	base := wb.BaseConfig()
+	baseIPC := make([]float64, len(subset))
+	for i, w := range subset {
+		baseIPC[i] = wb.RunSingle(base, w).IPC()
+	}
+	for _, entries := range []int{8, 16, 32, 64} {
+		cfg := wb.Profile.BaseConfig(1).WithSDCLP().WithLP(entries, entries, 8)
+		ratios := make([]float64, len(subset))
+		for i, w := range subset {
+			ratios[i] = wb.RunSingle(cfg, w).IPC() / baseIPC[i]
+		}
+		res.Values = append(res.Values, fmt.Sprint(entries))
+		res.GeomeanPct = append(res.GeomeanPct, stats.GeoMeanSpeedup(ratios))
+	}
+	return res
+}
+
+// Fig12 sweeps the LP associativity with 32 entries (direct-mapped, 2-,
+// 8-way, fully associative).
+func (wb *Workbench) Fig12(subset []WorkloadID) *SweepResult {
+	if subset == nil {
+		subset = AllWorkloads()
+	}
+	res := &SweepResult{ID: "fig12", Title: "LP associativity sweep, 32 entries (Fig. 12)", Param: "ways",
+		Note: "paper: 17.0% / 20.3% / 20.7% / 20.7%; 8-way is near-optimal"}
+	base := wb.BaseConfig()
+	baseIPC := make([]float64, len(subset))
+	for i, w := range subset {
+		baseIPC[i] = wb.RunSingle(base, w).IPC()
+	}
+	for _, ways := range []int{1, 2, 8, 32} {
+		cfg := wb.Profile.BaseConfig(1).WithSDCLP().WithLP(32, ways, 8)
+		ratios := make([]float64, len(subset))
+		for i, w := range subset {
+			ratios[i] = wb.RunSingle(cfg, w).IPC() / baseIPC[i]
+		}
+		res.Values = append(res.Values, fmt.Sprint(ways))
+		res.GeomeanPct = append(res.GeomeanPct, stats.GeoMeanSpeedup(ratios))
+	}
+	return res
+}
+
+// TauResult is the τ_glob sensitivity study of Section V-B3: geomean
+// speed-up of the graph suite and of the regular ("SPEC" stand-in)
+// suite per threshold.
+type TauResult struct {
+	Taus       []uint64
+	GraphPct   []float64
+	RegularPct []float64
+}
+
+// RegularWorkloads returns the ids of the regular (SPEC stand-in)
+// suite; their Graph field is the pseudo-input "reg".
+func RegularWorkloads() []WorkloadID {
+	return []WorkloadID{
+		{Kernel: "triad", Graph: "reg"},
+		{Kernel: "matvec", Graph: "reg"},
+		{Kernel: "stencil", Graph: "reg"},
+	}
+}
+
+// Tau sweeps τ_glob over the graph subset plus the regular suite.
+func (wb *Workbench) Tau(subset []WorkloadID, taus []uint64) *TauResult {
+	if subset == nil {
+		subset = AllWorkloads()
+	}
+	if taus == nil {
+		taus = []uint64{0, 2, 4, 8, 16, 32, 64, 256}
+	}
+	reg := RegularWorkloads()
+	res := &TauResult{Taus: taus}
+	base := wb.BaseConfig()
+	graphBase := make([]float64, len(subset))
+	for i, w := range subset {
+		graphBase[i] = wb.RunSingle(base, w).IPC()
+	}
+	regBase := make([]float64, len(reg))
+	for i, w := range reg {
+		regBase[i] = wb.RunSingle(base, w).IPC()
+	}
+	lp := wb.Profile.BaseConfig(1).LP
+	for _, tau := range taus {
+		cfg := wb.Profile.BaseConfig(1).WithSDCLP().WithLP(lp.Entries, lp.Ways, tau)
+		g := make([]float64, len(subset))
+		for i, w := range subset {
+			g[i] = wb.RunSingle(cfg, w).IPC() / graphBase[i]
+		}
+		rg := make([]float64, len(reg))
+		for i, w := range reg {
+			rg[i] = wb.RunSingle(cfg, w).IPC() / regBase[i]
+		}
+		res.GraphPct = append(res.GraphPct, stats.GeoMeanSpeedup(g))
+		res.RegularPct = append(res.RegularPct, stats.GeoMeanSpeedup(rg))
+	}
+	return res
+}
+
+// Table renders the sweep.
+func (r *TauResult) Table() *Table {
+	t := &Table{ID: "tau", Title: "tau_glob sensitivity (Section V-B3)",
+		Header: []string{"tau_glob", "graph geomean", "regular geomean"}}
+	for i, tau := range r.Taus {
+		t.AddRow(fmt.Sprint(tau),
+			fmt.Sprintf("%+.1f%%", r.GraphPct[i]),
+			fmt.Sprintf("%+.1f%%", r.RegularPct[i]))
+	}
+	t.Notes = append(t.Notes, "paper: tau=8 gives +20.3% on GAP while keeping SPEC at +0.5%")
+	return t
+}

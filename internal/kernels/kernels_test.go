@@ -1,0 +1,577 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"graphmem/internal/graph"
+	"graphmem/internal/mem"
+	"graphmem/internal/trace"
+)
+
+// runFull executes an instance with an unlimited counting sink and
+// returns the record count, so results are complete and verifiable.
+func runFull(t *testing.T, inst Instance) int64 {
+	t.Helper()
+	sink := &trace.CountingSink{}
+	tr := trace.New(sink)
+	inst.Run(tr)
+	if sink.Records == 0 {
+		t.Fatal("kernel emitted no trace records")
+	}
+	return sink.Records
+}
+
+func testGraph(seed uint64) *graph.Graph {
+	return graph.Urand(500, 2000, seed)
+}
+
+// --- reference implementations ---
+
+func refBFSDepth(g *graph.Graph, src int32) []int32 {
+	depth := make([]int32, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	q := []int32{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.Neighbors(u) {
+			if depth[v] == -1 {
+				depth[v] = depth[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return depth
+}
+
+func refPageRank(g *graph.Graph, damping float64, iters int) []float64 {
+	n := int64(g.N)
+	scores := make([]float64, n)
+	next := make([]float64, n)
+	for i := range scores {
+		scores[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for u := int32(0); u < g.N; u++ {
+			d := g.Degree(u)
+			if d == 0 {
+				continue
+			}
+			share := scores[u] / float64(d)
+			for _, v := range g.Neighbors(u) {
+				next[v] += share
+			}
+		}
+		for i := range next {
+			next[i] = base + damping*next[i]
+		}
+		scores, next = next, scores
+	}
+	return scores
+}
+
+// refComponents labels components via union-find over undirected edges.
+func refComponents(g *graph.Graph) []int32 {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := int32(0); u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			ru, rv := find(u), find(v)
+			if ru != rv {
+				parent[ru] = rv
+			}
+		}
+	}
+	out := make([]int32, g.N)
+	for i := range out {
+		out[i] = find(int32(i))
+	}
+	return out
+}
+
+func refTriangles(g *graph.Graph) int64 {
+	var count int64
+	for u := int32(0); u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				if w > v && g.HasEdge(u, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func refDijkstra(g *graph.Graph, src int32) []int64 {
+	n := g.N
+	dist := make([]int64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = infDist
+	}
+	dist[src] = 0
+	for {
+		u, best := int32(-1), infDist
+		for v := int32(0); v < n; v++ {
+			if !done[v] && dist[v] < best {
+				best = dist[v]
+				u = v
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		adj, ws := g.Neighbors(u), g.Weights(u)
+		for i, v := range adj {
+			if nd := dist[u] + int64(ws[i]); nd < dist[v] {
+				dist[v] = nd
+			}
+		}
+	}
+	return dist
+}
+
+// refBrandes computes exact betweenness from the given sources.
+func refBrandes(g *graph.Graph, sources []int32) []float64 {
+	n := g.N
+	bc := make([]float64, n)
+	for _, s := range sources {
+		sigma := make([]float64, n)
+		depth := make([]int32, n)
+		delta := make([]float64, n)
+		for i := range depth {
+			depth[i] = -1
+		}
+		sigma[s] = 1
+		depth[s] = 0
+		var order []int32
+		q := []int32{s}
+		for len(q) > 0 {
+			u := q[0]
+			q = q[1:]
+			order = append(order, u)
+			for _, v := range g.Neighbors(u) {
+				if depth[v] == -1 {
+					depth[v] = depth[u] + 1
+					q = append(q, v)
+				}
+				if depth[v] == depth[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			u := order[i]
+			for _, v := range g.Neighbors(u) {
+				if depth[v] == depth[u]+1 {
+					delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+				}
+			}
+			if u != s {
+				bc[u] += delta[u]
+			}
+		}
+	}
+	return bc
+}
+
+// --- kernel correctness ---
+
+func TestPRMatchesReference(t *testing.T) {
+	g := testGraph(1)
+	pr := NewPR(g, mem.NewSpace(0)).(*PR)
+	pr.Epsilon = 0 // force fixed iteration count
+	pr.MaxIters = 15
+	runFull(t, pr)
+	if pr.Iterations != 15 {
+		t.Fatalf("iterations = %d", pr.Iterations)
+	}
+	want := refPageRank(g, pr.Damping, 15)
+	got := pr.Scores()
+	// Dangling-vertex handling differs slightly (we drop their mass);
+	// compare with a loose per-element tolerance on ranking mass.
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6+0.05*want[i] {
+			t.Fatalf("score[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPRSumsToOne(t *testing.T) {
+	g := graph.Kron(9, 8, 3)
+	pr := NewPR(g, mem.NewSpace(0)).(*PR)
+	runFull(t, pr)
+	var sum float64
+	for _, s := range pr.Scores() {
+		sum += s
+	}
+	// Dangling-vertex mass leaks, so the sum is <= 1 but must be close
+	// for graphs with few zero-degree vertices.
+	if sum < 0.5 || sum > 1.01 {
+		t.Errorf("score mass = %g", sum)
+	}
+}
+
+func TestBFSDepthsMatchReference(t *testing.T) {
+	g := testGraph(2)
+	b := NewBFS(g, mem.NewSpace(0)).(*BFS)
+	b.Sources = []int32{7}
+	runFull(t, b)
+	want := refBFSDepth(g, 7)
+	got := b.Depth()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBFSBottomUpPathTaken(t *testing.T) {
+	// A dense graph forces the direction switch; depths must still be
+	// exact.
+	g := graph.Urand(300, 6000, 4)
+	b := NewBFS(g, mem.NewSpace(0)).(*BFS)
+	b.Sources = []int32{0}
+	b.Alpha = 50 // switch aggressively
+	runFull(t, b)
+	want := refBFSDepth(g, 0)
+	for v := range want {
+		if b.Depth()[v] != want[v] {
+			t.Fatalf("depth[%d] = %d, want %d (bottom-up path)", v, b.Depth()[v], want[v])
+		}
+	}
+}
+
+func TestBFSParentsConsistent(t *testing.T) {
+	g := testGraph(5)
+	b := NewBFS(g, mem.NewSpace(0)).(*BFS)
+	b.Sources = []int32{3}
+	runFull(t, b)
+	depth := b.Depth()
+	parent := b.Parent()
+	for v := int32(0); v < g.N; v++ {
+		if depth[v] <= 0 {
+			continue
+		}
+		p := parent[v]
+		if p < 0 || depth[p] != depth[v]-1 {
+			t.Fatalf("parent[%d]=%d at depth %d vs %d", v, p, depth[p], depth[v])
+		}
+		if !g.HasEdge(p, v) {
+			t.Fatalf("parent edge (%d,%d) not in graph", p, v)
+		}
+	}
+}
+
+func TestCCMatchesReference(t *testing.T) {
+	// Urand at this density leaves several components; use a sparser
+	// graph to get many.
+	g := graph.Urand(400, 300, 6)
+	c := NewCC(g, mem.NewSpace(0)).(*CC)
+	runFull(t, c)
+	want := refComponents(g)
+	got := c.Components()
+	// Same partition: equal labels iff equal reference roots.
+	seen := map[int32]int32{}
+	for v := range want {
+		if (want[v] == want[0]) != (got[v] == got[0]) && v > 0 {
+			// cheap spot check below does the real work
+			break
+		}
+	}
+	for v := 0; v < len(want); v++ {
+		root := want[v]
+		if prev, ok := seen[root]; ok {
+			if got[v] != prev {
+				t.Fatalf("vertices with same ref component differ: got[%d]=%d vs %d", v, got[v], prev)
+			}
+		} else {
+			for r, lbl := range seen {
+				if lbl == got[v] && r != root {
+					t.Fatalf("distinct ref components share label %d", got[v])
+				}
+			}
+			seen[root] = got[v]
+		}
+	}
+}
+
+func TestTCMatchesReference(t *testing.T) {
+	g := graph.Urand(200, 2000, 7)
+	tc := NewTC(g, mem.NewSpace(0)).(*TC)
+	runFull(t, tc)
+	want := refTriangles(g)
+	if tc.Count != want {
+		t.Fatalf("triangles = %d, want %d", tc.Count, want)
+	}
+	if want == 0 {
+		t.Fatal("test graph has no triangles; pick denser parameters")
+	}
+}
+
+func TestTCOnKron(t *testing.T) {
+	g := graph.Kron(8, 8, 8)
+	tc := NewTC(g, mem.NewSpace(0)).(*TC)
+	runFull(t, tc)
+	if want := refTriangles(g); tc.Count != want {
+		t.Fatalf("triangles = %d, want %d", tc.Count, want)
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	g := graph.RoadGrid(20, 20, 50, 9)
+	s := NewSSSP(g, mem.NewSpace(0)).(*SSSP)
+	s.Sources = []int32{0}
+	runFull(t, s)
+	want := refDijkstra(s.g, 0)
+	got := s.Dist()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSSSPWeightsSynthesizedForUnweighted(t *testing.T) {
+	g := graph.Urand(300, 1500, 10)
+	s := NewSSSP(g, mem.NewSpace(0)).(*SSSP)
+	s.Sources = []int32{1}
+	runFull(t, s)
+	want := refDijkstra(s.g, 1)
+	for v := range want {
+		if s.Dist()[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, s.Dist()[v], want[v])
+		}
+	}
+}
+
+func TestBCMatchesReference(t *testing.T) {
+	g := graph.Urand(150, 600, 11)
+	b := NewBC(g, mem.NewSpace(0)).(*BC)
+	b.Sources = []int32{5, 10}
+	runFull(t, b)
+	want := refBrandes(g, b.Sources)
+	got := b.Centrality()
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+			t.Fatalf("bc[%d] = %g, want %g", v, got[v], want[v])
+		}
+	}
+}
+
+// --- instrumentation behaviour ---
+
+func TestKernelsStopAtTraceLimit(t *testing.T) {
+	g := testGraph(12)
+	for name, build := range Registry() {
+		inst := build(g, mem.NewSpace(0))
+		sink := &trace.CountingSink{Limit: 500}
+		tr := trace.New(sink)
+		inst.Run(tr)
+		if sink.Records != 500 {
+			t.Errorf("%s: %d records, want exactly 500", name, sink.Records)
+		}
+	}
+}
+
+func TestKernelsEmitDependencies(t *testing.T) {
+	g := testGraph(13)
+	for name, build := range Registry() {
+		inst := build(g, mem.NewSpace(0))
+		sink := &trace.SliceSink{Limit: 20000}
+		inst.Run(trace.New(sink))
+		deps := 0
+		for _, r := range sink.Recs {
+			if r.DepDist > 0 {
+				deps++
+			}
+		}
+		if deps == 0 {
+			t.Errorf("%s emitted no dependency edges", name)
+		}
+	}
+}
+
+func TestKernelsTouchIrregularRegions(t *testing.T) {
+	g := testGraph(14)
+	for name, build := range Registry() {
+		inst := build(g, mem.NewSpace(0))
+		irreg := inst.IrregularRegions()
+		if len(irreg) == 0 {
+			t.Errorf("%s declares no irregular regions", name)
+			continue
+		}
+		sink := &trace.SliceSink{Limit: 50000}
+		inst.Run(trace.New(sink))
+		touched := 0
+		for _, r := range sink.Recs {
+			for _, reg := range irreg {
+				if reg.Contains(r.Addr) {
+					touched++
+					break
+				}
+			}
+		}
+		if touched == 0 {
+			t.Errorf("%s never touched its irregular regions", name)
+		}
+	}
+}
+
+func TestKernelsInfoMatchesTableII(t *testing.T) {
+	g := testGraph(15)
+	space := mem.NewSpace(0)
+	want := map[string]Info{
+		"bc":   {Name: "bc", IrregElemBytes: "8B + 4B", Style: PushMostly, UsesFrontier: true},
+		"bfs":  {Name: "bfs", IrregElemBytes: "4B", Style: PushPull, UsesFrontier: true},
+		"cc":   {Name: "cc", IrregElemBytes: "4B", Style: PushMostly, UsesFrontier: false},
+		"pr":   {Name: "pr", IrregElemBytes: "4B", Style: PullOnly, UsesFrontier: false},
+		"tc":   {Name: "tc", IrregElemBytes: "4B", Style: PushOnly, UsesFrontier: false},
+		"sssp": {Name: "sssp", IrregElemBytes: "4B", Style: PushOnly, UsesFrontier: true},
+	}
+	for _, name := range Names() {
+		got := Registry()[name](g, space).Info()
+		if got != want[name] {
+			t.Errorf("%s Info = %+v, want %+v", name, got, want[name])
+		}
+	}
+}
+
+func TestKernelsRerunnable(t *testing.T) {
+	g := testGraph(16)
+	b := NewBFS(g, mem.NewSpace(0)).(*BFS)
+	b.Sources = []int32{2}
+	runFull(t, b)
+	first := append([]int32(nil), b.Depth()...)
+	runFull(t, b)
+	for v := range first {
+		if b.Depth()[v] != first[v] {
+			t.Fatal("second Run produced different result")
+		}
+	}
+}
+
+func TestRegistryNamesComplete(t *testing.T) {
+	reg := Registry()
+	for _, n := range Names() {
+		if reg[n] == nil {
+			t.Errorf("kernel %q missing from registry", n)
+		}
+	}
+	// The registry also carries the bonus SpMV kernel (Section II-A),
+	// which is not part of the paper's 36-workload suite.
+	if len(reg) != len(Names())+1 || reg["spmv"] == nil {
+		t.Errorf("registry has %d kernels (want 6 GAP + spmv)", len(reg))
+	}
+}
+
+// --- regular suite ---
+
+func TestRegularSuiteRunsAndIsSequential(t *testing.T) {
+	for _, inst := range RegularSuite(mem.NewSpace(0)) {
+		sink := &trace.SliceSink{Limit: 50000}
+		inst.Run(trace.New(sink))
+		if len(sink.Recs) == 0 {
+			t.Fatalf("%s: no records", inst.Info().Name)
+		}
+		// Per-PC block strides must be overwhelmingly small.
+		last := map[uint64]mem.BlockAddr{}
+		small, total := 0, 0
+		for _, r := range sink.Recs {
+			blk := r.Addr.Block()
+			if prev, ok := last[r.PC]; ok {
+				d := int64(blk) - int64(prev)
+				if d < 0 {
+					d = -d
+				}
+				if d <= 1 {
+					small++
+				}
+				total++
+			}
+			last[r.PC] = blk
+		}
+		if total == 0 || float64(small)/float64(total) < 0.95 {
+			t.Errorf("%s: only %d/%d small strides", inst.Info().Name, small, total)
+		}
+		if len(inst.IrregularRegions()) != 0 {
+			t.Errorf("%s declares irregular regions", inst.Info().Name)
+		}
+	}
+}
+
+// --- transpose oracle ---
+
+func TestTransposeOracleRanks(t *testing.T) {
+	space := mem.NewSpace(0)
+	reg := space.Alloc("prop", 64*16, 4, mem.ClassIrregular)
+	// Reference stream: vertex 0 every position, vertex 100 only at the
+	// end, vertices 200.. never.
+	na := make([]int32, 1000)
+	for i := range na {
+		na[i] = 0
+	}
+	na[999] = 100
+	o := NewTransposeOracle(reg, na, 256)
+	o.SetProgress(0)
+	// Vertex 0's block: next use immediate -> rank 0.
+	if r := o.Rank(reg.ElemAddr(0).Block()); r != 0 {
+		t.Errorf("hot block rank = %d, want 0", r)
+	}
+	// Vertex 100 shares a block with 96..111 (16 elems/block), all of
+	// which are otherwise unused: next use at position 999.
+	farBlk := reg.ElemAddr(100).Block()
+	if r := o.Rank(farBlk); r < 200 {
+		t.Errorf("far block rank = %d, want near max", r)
+	}
+	// Vertex 200's block: never used -> RankMax.
+	if r := o.Rank(reg.ElemAddr(200).Block()); r != 255 {
+		t.Errorf("dead block rank = %d, want 255", r)
+	}
+	// Outside the region: default.
+	if r := o.Rank(0); r != 128 {
+		t.Errorf("foreign block rank = %d, want 128", r)
+	}
+}
+
+func TestTransposeOracleProgressAdvances(t *testing.T) {
+	space := mem.NewSpace(1)
+	reg := space.Alloc("prop", 4096, 4, mem.ClassIrregular)
+	na := []int32{5, 9, 5, 9, 5, 9, 5, 9}
+	o := NewTransposeOracle(reg, na, 16)
+	o.SetProgress(0)
+	r0 := o.Rank(reg.ElemAddr(5).Block())
+	o.SetProgress(7)
+	r7 := o.Rank(reg.ElemAddr(5).Block())
+	// At progress 7 the last reference of 5 (pos 6) has passed; next is
+	// pos 0 of the next sweep (wrap) -> distance 1.
+	if r7 > r0+64 && r0 != 0 {
+		t.Errorf("ranks r0=%d r7=%d", r0, r7)
+	}
+	// Wrap resets pointers without panicking.
+	o.SetProgress(20) // 20 % 8 = 4
+	_ = o.Rank(reg.ElemAddr(9).Block())
+}

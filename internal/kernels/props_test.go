@@ -1,0 +1,231 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"graphmem/internal/graph"
+	"graphmem/internal/mem"
+	"graphmem/internal/trace"
+)
+
+// Parameter-invariance properties: algorithmic knobs that trade work
+// for locality (δ bucket width, direction-switch thresholds) must never
+// change results.
+
+func TestSSSPDeltaInvariance(t *testing.T) {
+	g := graph.RoadGrid(15, 15, 40, 21)
+	ref := refDijkstra(g, 3)
+	for _, delta := range []int64{1, 4, 16, 64, 1 << 20} {
+		s := NewSSSP(g, mem.NewSpace(0)).(*SSSP)
+		s.Delta = delta
+		s.Sources = []int32{3}
+		runFull(t, s)
+		for v := range ref {
+			if s.Dist()[v] != ref[v] {
+				t.Fatalf("delta=%d: dist[%d] = %d, want %d", delta, v, s.Dist()[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestBFSDirectionSwitchInvariance(t *testing.T) {
+	g := graph.Kron(10, 8, 22)
+	ref := refBFSDepth(g, 1)
+	for _, alpha := range []int64{1, 2, 14, 1 << 30} {
+		b := NewBFS(g, mem.NewSpace(0)).(*BFS)
+		b.Alpha = alpha
+		b.Sources = []int32{1}
+		runFull(t, b)
+		for v := range ref {
+			if b.Depth()[v] != ref[v] {
+				t.Fatalf("alpha=%d: depth[%d] = %d, want %d", alpha, v, b.Depth()[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestBFSRandomGraphProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := graph.Urand(300, 900, seed)
+		b := NewBFS(g, mem.NewSpace(0)).(*BFS)
+		b.Sources = []int32{0}
+		b.Run(trace.New(&trace.CountingSink{}))
+		ref := refBFSDepth(g, 0)
+		for v := range ref {
+			if b.Depth()[v] != ref[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCRandomGraphProperty(t *testing.T) {
+	f := func(seed uint64, density uint8) bool {
+		m := 100 + int64(density)*4
+		g := graph.Urand(250, m, seed)
+		c := NewCC(g, mem.NewSpace(0)).(*CC)
+		c.Run(trace.New(&trace.CountingSink{}))
+		ref := refComponents(g)
+		// Partition equivalence.
+		m1 := map[int32]int32{}
+		m2 := map[int32]int32{}
+		for v := int32(0); v < g.N; v++ {
+			a, b := ref[v], c.Components()[v]
+			if x, ok := m1[a]; ok && x != b {
+				return false
+			}
+			if x, ok := m2[b]; ok && x != a {
+				return false
+			}
+			m1[a], m2[b] = b, a
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCOnRoadGraphSparse(t *testing.T) {
+	g := graph.RoadGrid(12, 12, 5, 23)
+	tc := NewTC(g, mem.NewSpace(0)).(*TC)
+	runFull(t, tc)
+	if want := refTriangles(g); tc.Count != want {
+		t.Fatalf("triangles = %d, want %d", tc.Count, want)
+	}
+}
+
+func TestBCRepeatedRunsAccumulateFresh(t *testing.T) {
+	// Run must recompute from scratch: two Runs give identical scores,
+	// not doubled ones.
+	g := graph.Urand(120, 500, 24)
+	b := NewBC(g, mem.NewSpace(0)).(*BC)
+	b.Sources = []int32{2}
+	runFull(t, b)
+	first := append([]float64(nil), b.Centrality()...)
+	runFull(t, b)
+	for v := range first {
+		if math.Abs(b.Centrality()[v]-first[v]) > 1e-9 {
+			t.Fatalf("bc[%d] drifted across runs: %g vs %g", v, b.Centrality()[v], first[v])
+		}
+	}
+}
+
+func TestPRDanglingVertices(t *testing.T) {
+	// A graph with sinks (no out-edges) must not produce NaN/Inf.
+	g := graph.Build(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 2},
+	}, false)
+	pr := NewPR(g, mem.NewSpace(0)).(*PR)
+	runFull(t, pr)
+	for v, s := range pr.Scores() {
+		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+			t.Fatalf("score[%d] = %g", v, s)
+		}
+	}
+	// Vertex 2 receives from 1 and 3: highest score.
+	if pr.Scores()[2] <= pr.Scores()[0] {
+		t.Error("sink with two in-edges should outrank a source")
+	}
+}
+
+func TestSSSPUnreachableVertices(t *testing.T) {
+	// Two disconnected cliques: distances across must stay Unreachable.
+	var edges []graph.Edge
+	for u := int32(0); u < 3; u++ {
+		for v := u + 1; v < 3; v++ {
+			edges = append(edges, graph.Edge{Src: u, Dst: v, W: 1}, graph.Edge{Src: v, Dst: u, W: 1})
+		}
+	}
+	for u := int32(3); u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			edges = append(edges, graph.Edge{Src: u, Dst: v, W: 1}, graph.Edge{Src: v, Dst: u, W: 1})
+		}
+	}
+	g := graph.Build(6, edges, true)
+	s := NewSSSP(g, mem.NewSpace(0)).(*SSSP)
+	s.Sources = []int32{0}
+	runFull(t, s)
+	for v := int32(3); v < 6; v++ {
+		if s.Dist()[v] != Unreachable {
+			t.Errorf("dist[%d] = %d, want Unreachable", v, s.Dist()[v])
+		}
+	}
+	for v := int32(1); v < 3; v++ {
+		if s.Dist()[v] != 1 {
+			t.Errorf("dist[%d] = %d, want 1", v, s.Dist()[v])
+		}
+	}
+}
+
+func TestKernelsDeterministicTraces(t *testing.T) {
+	// Same kernel, same graph, fresh instances: identical record
+	// streams (the multi-core scheduler's restart semantics and the
+	// memoized experiment runs both rely on this).
+	g := testGraph(25)
+	for name, build := range Registry() {
+		capture := func() []trace.Record {
+			inst := build(g, mem.NewSpace(0))
+			sink := &trace.SliceSink{Limit: 5000}
+			inst.Run(trace.New(sink))
+			return sink.Recs
+		}
+		a, b := capture(), capture()
+		if len(a) != len(b) {
+			t.Errorf("%s: trace lengths differ (%d vs %d)", name, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: record %d differs", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestSpMVMatchesDense(t *testing.T) {
+	g := graph.RoadGrid(10, 10, 9, 31)
+	s := NewSpMV(g, mem.NewSpace(0)).(*SpMV)
+	runFull(t, s)
+	// Dense reference product.
+	for u := int32(0); u < g.N; u++ {
+		want := 0.0
+		adj, ws := g.Neighbors(u), g.Weights(u)
+		for i, v := range adj {
+			want += float64(ws[i]) * (1 / float64(v+1))
+		}
+		if math.Abs(s.Result()[u]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("y[%d] = %g, want %g", u, s.Result()[u], want)
+		}
+	}
+	if s.Checksum == 0 {
+		t.Error("checksum not accumulated")
+	}
+}
+
+func TestSpMVGathersAreIrregular(t *testing.T) {
+	g := graph.Urand(5000, 40000, 32)
+	s := NewSpMV(g, mem.NewSpace(0)).(*SpMV)
+	sink := &trace.SliceSink{Limit: 100000}
+	s.Run(trace.New(sink))
+	irreg := s.IrregularRegions()[0]
+	var inX, deps int
+	for _, r := range sink.Recs {
+		if irreg.Contains(r.Addr) {
+			inX++
+			if r.DepDist > 0 {
+				deps++
+			}
+		}
+	}
+	if inX == 0 || deps < inX*9/10 {
+		t.Errorf("x gathers %d, with deps %d: expected dependent irregular stream", inX, deps)
+	}
+}

@@ -1,0 +1,161 @@
+// Package mem provides the shared memory-system plumbing used by every
+// component of the simulator: request/response types, block and page
+// arithmetic, a synthetic per-core address-space allocator and a registry
+// of named data-structure regions.
+//
+// The simulator is address-driven: no data values flow through it. A
+// workload (see internal/kernels) computes its real result natively in Go
+// and, while doing so, emits the addresses it touches. Those addresses
+// live in a synthetic 48-bit physical address space managed by this
+// package.
+package mem
+
+import "fmt"
+
+// Fundamental geometry constants shared across the hierarchy.
+const (
+	// BlockBits is log2 of the cache block size.
+	BlockBits = 6
+	// BlockSize is the cache block (line) size in bytes.
+	BlockSize = 1 << BlockBits
+	// PageBits is log2 of the page size.
+	PageBits = 12
+	// PageSize is the virtual-memory page size in bytes.
+	PageSize = 1 << PageBits
+	// AddrBits is the number of physical address bits (Table IV assumes
+	// 48-bit physical addresses).
+	AddrBits = 48
+)
+
+// Addr is a byte address in the synthetic physical address space.
+type Addr uint64
+
+// Block returns the cache-block number containing a.
+func (a Addr) Block() BlockAddr { return BlockAddr(a >> BlockBits) }
+
+// Page returns the page number containing a.
+func (a Addr) Page() PageAddr { return PageAddr(a >> PageBits) }
+
+// BlockOffset returns the byte offset of a within its cache block.
+func (a Addr) BlockOffset() uint64 { return uint64(a) & (BlockSize - 1) }
+
+// BlockAddr is a cache-block (line) number: Addr >> BlockBits.
+type BlockAddr uint64
+
+// Addr returns the byte address of the first byte of the block.
+func (b BlockAddr) Addr() Addr { return Addr(b << BlockBits) }
+
+// Page returns the page number containing the block.
+func (b BlockAddr) Page() PageAddr { return PageAddr(b >> (PageBits - BlockBits)) }
+
+// PageAddr is a page number: Addr >> PageBits.
+type PageAddr uint64
+
+// Addr returns the byte address of the first byte of the page.
+func (p PageAddr) Addr() Addr { return Addr(p << PageBits) }
+
+// AccessType distinguishes the kinds of requests seen by the hierarchy.
+type AccessType uint8
+
+const (
+	// Load is a demand read issued by the core.
+	Load AccessType = iota
+	// Store is a demand write issued by the core (write-allocate).
+	Store
+	// Prefetch is a hardware-prefetcher read.
+	Prefetch
+	// Writeback is a dirty-eviction write toward memory.
+	Writeback
+	// Translation is a page-table-walker read.
+	Translation
+)
+
+// String implements fmt.Stringer.
+func (t AccessType) String() string {
+	switch t {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	case Translation:
+		return "translation"
+	default:
+		return fmt.Sprintf("AccessType(%d)", uint8(t))
+	}
+}
+
+// IsWrite reports whether the access modifies the block.
+func (t AccessType) IsWrite() bool { return t == Store || t == Writeback }
+
+// Request is a memory request travelling through the hierarchy.
+type Request struct {
+	// Core is the issuing core's index.
+	Core int
+	// PC is the (synthetic) program counter of the instruction.
+	PC uint64
+	// Addr is the byte address accessed.
+	Addr Addr
+	// Type is the access kind.
+	Type AccessType
+	// Issue is the global CPU-cycle timestamp at which the request
+	// enters the component being asked.
+	Issue int64
+}
+
+// Block returns the block number of the request's address.
+func (r *Request) Block() BlockAddr { return r.Addr.Block() }
+
+// ServedBy identifies the hierarchy level that ultimately supplied the
+// data for a request. It is reported back up the ladder so that callers
+// (stats, the stride profiler for Fig. 3) can attribute the access.
+type ServedBy uint8
+
+// Hierarchy levels a request can be served from.
+const (
+	ServedNone ServedBy = iota // e.g. store buffered, nothing fetched
+	ServedSDC
+	ServedL1D
+	ServedL2
+	ServedLLC
+	ServedRemote // another core's cache or SDC via the directory
+	ServedDRAM
+)
+
+// String implements fmt.Stringer.
+func (s ServedBy) String() string {
+	switch s {
+	case ServedNone:
+		return "none"
+	case ServedSDC:
+		return "SDC"
+	case ServedL1D:
+		return "L1D"
+	case ServedL2:
+		return "L2C"
+	case ServedLLC:
+		return "LLC"
+	case ServedRemote:
+		return "remote"
+	case ServedDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("ServedBy(%d)", uint8(s))
+	}
+}
+
+// Response describes the outcome of a request: when the data is ready
+// and which level provided it.
+type Response struct {
+	// Ready is the global CPU-cycle timestamp at which the data is
+	// available to the requester.
+	Ready int64
+	// Source is the level that supplied the data.
+	Source ServedBy
+}
+
+// Latency returns the request latency in cycles given its issue time.
+func (r Response) Latency(issue int64) int64 { return r.Ready - issue }

@@ -1,0 +1,199 @@
+// Package prefetch implements the hardware prefetchers of Table I: the
+// next-line prefetcher attached to the L1D and the SDC, and a
+// signature-path prefetcher (SPP, Kim et al., MICRO 2016) attached to
+// the L2. Prefetchers are pure candidate generators; the hierarchy
+// decides whether a candidate is already resident and performs the
+// fill.
+package prefetch
+
+import (
+	"graphmem/internal/mem"
+)
+
+// Prefetcher generates prefetch candidates in response to demand
+// accesses. Candidates are appended to buf (reused by the caller to
+// avoid allocation in the hot path).
+type Prefetcher interface {
+	// Name identifies the prefetcher in stats output.
+	Name() string
+	// OnAccess observes a demand access to blk (hit says whether it hit
+	// the attached cache) and appends prefetch candidates to buf.
+	OnAccess(blk mem.BlockAddr, hit bool, buf []mem.BlockAddr) []mem.BlockAddr
+}
+
+// None is the absent prefetcher.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// OnAccess implements Prefetcher.
+func (None) OnAccess(_ mem.BlockAddr, _ bool, buf []mem.BlockAddr) []mem.BlockAddr { return buf }
+
+// NextLine prefetches block N+1 on every demand access to block N, the
+// classic L1 next-line prefetcher of Table I.
+type NextLine struct{}
+
+// Name implements Prefetcher.
+func (NextLine) Name() string { return "next-line" }
+
+// OnAccess implements Prefetcher.
+func (NextLine) OnAccess(blk mem.BlockAddr, _ bool, buf []mem.BlockAddr) []mem.BlockAddr {
+	return append(buf, blk+1)
+}
+
+// SPP parameters (compile-time constants matching the MICRO'16 design
+// scaled to a small budget).
+const (
+	sppSigBits    = 12
+	sppSigMask    = (1 << sppSigBits) - 1
+	sppSigShift   = 3
+	sppSTEntries  = 256 // signature table: tracks pages
+	sppPTEntries  = 512 // pattern table: signature -> deltas
+	sppPTWays     = 4   // deltas tracked per signature
+	sppCounterMax = 15  // 4-bit confidence counters
+	sppFillConf   = 25  // percent confidence needed to issue
+	sppMaxDepth   = 8   // lookahead depth bound
+	blocksPerPage = mem.PageSize / mem.BlockSize
+)
+
+type sppSTEntry struct {
+	page      mem.PageAddr
+	lastBlock int16 // block offset within page
+	signature uint16
+	valid     bool
+}
+
+type sppPTDelta struct {
+	delta int16
+	conf  uint8
+}
+
+type sppPTEntry struct {
+	total  uint8
+	deltas [sppPTWays]sppPTDelta
+}
+
+// SPP is a lookahead signature-path prefetcher: per-page delta history
+// is compressed into a signature; a pattern table maps signatures to
+// likely next deltas with confidence counters; on each access the
+// predictor walks the signature path, issuing prefetches while the
+// compound confidence stays above a threshold, stopping at page
+// boundaries.
+type SPP struct {
+	st [sppSTEntries]sppSTEntry
+	pt [sppPTEntries]sppPTEntry
+	// Issued counts candidates generated (for stats/tests).
+	Issued int64
+}
+
+// NewSPP returns an empty predictor.
+func NewSPP() *SPP { return &SPP{} }
+
+// Name implements Prefetcher.
+func (s *SPP) Name() string { return "spp" }
+
+func sppUpdateSig(sig uint16, delta int16) uint16 {
+	return ((sig << sppSigShift) ^ uint16(delta)&0x3f) & sppSigMask
+}
+
+func (s *SPP) ptEntry(sig uint16) *sppPTEntry {
+	return &s.pt[sig%sppPTEntries]
+}
+
+// learn records that signature sig was followed by delta.
+func (s *SPP) learn(sig uint16, delta int16) {
+	e := s.ptEntry(sig)
+	if e.total >= sppCounterMax {
+		// Periodic aging keeps confidences adaptive.
+		e.total >>= 1
+		for i := range e.deltas {
+			e.deltas[i].conf >>= 1
+		}
+	}
+	e.total++
+	// Existing delta?
+	for i := range e.deltas {
+		if e.deltas[i].conf > 0 && e.deltas[i].delta == delta {
+			e.deltas[i].conf++
+			return
+		}
+	}
+	// Replace the weakest way.
+	weakest := 0
+	for i := 1; i < sppPTWays; i++ {
+		if e.deltas[i].conf < e.deltas[weakest].conf {
+			weakest = i
+		}
+	}
+	e.deltas[weakest] = sppPTDelta{delta: delta, conf: 1}
+}
+
+// best returns the most confident delta for sig and its confidence in
+// percent.
+func (s *SPP) best(sig uint16) (delta int16, confPct int, ok bool) {
+	e := s.ptEntry(sig)
+	if e.total == 0 {
+		return 0, 0, false
+	}
+	bi := -1
+	for i := range e.deltas {
+		if e.deltas[i].conf > 0 && (bi < 0 || e.deltas[i].conf > e.deltas[bi].conf) {
+			bi = i
+		}
+	}
+	if bi < 0 {
+		return 0, 0, false
+	}
+	return e.deltas[bi].delta, int(e.deltas[bi].conf) * 100 / int(e.total), true
+}
+
+// OnAccess implements Prefetcher.
+func (s *SPP) OnAccess(blk mem.BlockAddr, _ bool, buf []mem.BlockAddr) []mem.BlockAddr {
+	page := blk.Page()
+	offset := int16(uint64(blk) % blocksPerPage)
+	st := &s.st[uint64(page)%sppSTEntries]
+
+	var sig uint16
+	if st.valid && st.page == page {
+		delta := offset - st.lastBlock
+		if delta != 0 {
+			s.learn(st.signature, delta)
+			sig = sppUpdateSig(st.signature, delta)
+		} else {
+			sig = st.signature
+		}
+	} else {
+		// New page: start a fresh signature.
+		sig = sppUpdateSig(0, offset+1)
+	}
+	st.valid = true
+	st.page = page
+	st.lastBlock = offset
+	st.signature = sig
+
+	// Lookahead walk.
+	conf := 100
+	cur := offset
+	curSig := sig
+	for depth := 0; depth < sppMaxDepth; depth++ {
+		delta, c, ok := s.best(curSig)
+		if !ok || delta == 0 {
+			break
+		}
+		conf = conf * c / 100
+		if conf < sppFillConf {
+			break
+		}
+		next := cur + delta
+		if next < 0 || next >= blocksPerPage {
+			break // do not cross pages
+		}
+		cand := mem.BlockAddr(uint64(page)*blocksPerPage + uint64(next))
+		buf = append(buf, cand)
+		s.Issued++
+		cur = next
+		curSig = sppUpdateSig(curSig, delta)
+	}
+	return buf
+}

@@ -1,0 +1,144 @@
+package prefetch
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+func TestNoneGeneratesNothing(t *testing.T) {
+	var p None
+	if got := p.OnAccess(123, false, nil); len(got) != 0 {
+		t.Errorf("None generated %v", got)
+	}
+	if p.Name() != "none" {
+		t.Error("bad name")
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	var p NextLine
+	got := p.OnAccess(100, true, nil)
+	if len(got) != 1 || got[0] != 101 {
+		t.Errorf("NextLine = %v, want [101]", got)
+	}
+	// Buffer reuse appends.
+	buf := make([]mem.BlockAddr, 0, 4)
+	buf = p.OnAccess(5, false, buf)
+	buf = p.OnAccess(9, false, buf)
+	if len(buf) != 2 || buf[0] != 6 || buf[1] != 10 {
+		t.Errorf("buf = %v", buf)
+	}
+}
+
+func TestSPPLearnsUnitStride(t *testing.T) {
+	s := NewSPP()
+	var buf []mem.BlockAddr
+	base := mem.BlockAddr(1 << 20)
+	issued := 0
+	for i := 0; i < 60; i++ {
+		buf = s.OnAccess(base+mem.BlockAddr(i), false, buf[:0])
+		issued += len(buf)
+	}
+	if issued == 0 {
+		t.Fatal("SPP never issued on a unit-stride stream")
+	}
+	// Continuing the stride, the predictor must predict blk+1 first.
+	buf = s.OnAccess(base+60, false, buf[:0])
+	if len(buf) == 0 || buf[0] != base+61 {
+		t.Errorf("warmed SPP on unit stride gave %v, want first candidate %d", buf, base+61)
+	}
+}
+
+func TestSPPLearnsStrideOfTwo(t *testing.T) {
+	s := NewSPP()
+	var buf []mem.BlockAddr
+	base := mem.BlockAddr(1 << 21)
+	for i := 0; i < 30; i++ {
+		buf = s.OnAccess(base+mem.BlockAddr(2*i), false, buf[:0])
+	}
+	buf = s.OnAccess(base+60, false, buf[:0])
+	if len(buf) == 0 || buf[0] != base+62 {
+		t.Errorf("stride-2 prediction = %v, want first %d", buf, base+62)
+	}
+}
+
+func TestSPPLookaheadDepth(t *testing.T) {
+	s := NewSPP()
+	var buf []mem.BlockAddr
+	base := mem.BlockAddr(1 << 22)
+	// Long training on a perfect stream raises confidence, enabling
+	// multi-step lookahead.
+	for rep := 0; rep < 8; rep++ {
+		for i := 0; i < 60; i++ {
+			buf = s.OnAccess(base+mem.BlockAddr(i), false, buf[:0])
+		}
+	}
+	buf = s.OnAccess(base+60, false, buf[:0])
+	if len(buf) < 2 {
+		t.Errorf("lookahead depth %d, want >= 2 after heavy training", len(buf))
+	}
+	for i, c := range buf {
+		want := base + 61 + mem.BlockAddr(i)
+		if c != want {
+			t.Errorf("candidate %d = %d, want %d", i, c, want)
+		}
+	}
+}
+
+func TestSPPStopsAtPageBoundary(t *testing.T) {
+	s := NewSPP()
+	var buf []mem.BlockAddr
+	base := mem.BlockAddr(1 << 22)
+	for rep := 0; rep < 8; rep++ {
+		for i := 0; i < 64; i++ {
+			buf = s.OnAccess(base+mem.BlockAddr(i), false, buf[:0])
+		}
+	}
+	// Access the last block of the page: no candidate may cross.
+	last := base + 63
+	buf = s.OnAccess(last, false, buf[:0])
+	for _, c := range buf {
+		if c.Page() != last.Page() {
+			t.Errorf("candidate %d crosses page boundary", c)
+		}
+	}
+}
+
+func TestSPPRandomStreamIsQuiet(t *testing.T) {
+	s := NewSPP()
+	r := rand.New(rand.NewPCG(7, 8))
+	var buf []mem.BlockAddr
+	issued := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		blk := mem.BlockAddr(r.Uint64() % (1 << 30))
+		buf = s.OnAccess(blk, false, buf[:0])
+		issued += len(buf)
+	}
+	// A random stream must generate far fewer candidates than a
+	// sequential one (which generates ~1+ per access).
+	if issued > n/2 {
+		t.Errorf("SPP issued %d candidates on %d random accesses", issued, n)
+	}
+}
+
+func TestSPPSeparatePagesSeparateHistory(t *testing.T) {
+	s := NewSPP()
+	var buf []mem.BlockAddr
+	// Distinct pages that do not alias in the 256-entry signature table
+	// (pages 1024 and 1025 map to ST indices 0 and 1).
+	a := mem.BlockAddr(1024 * 64)
+	b := mem.BlockAddr(1025 * 64)
+	// Interleave two unit-stride streams on different pages; both must
+	// still train (the ST tracks pages independently).
+	for i := 0; i < 50; i++ {
+		s.OnAccess(a+mem.BlockAddr(i), false, buf[:0])
+		s.OnAccess(b+mem.BlockAddr(i), false, buf[:0])
+	}
+	got := s.OnAccess(a+50, false, buf[:0])
+	if len(got) == 0 || got[0] != a+51 {
+		t.Errorf("interleaved stream A prediction = %v", got)
+	}
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphmem/internal/cache"
+	"graphmem/internal/mem"
+)
+
+// cohSystem builds a 2-core SDC+LP machine with no workloads, for
+// driving the memory paths directly.
+func cohSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := TableI(2).BenchScale().WithSDCLP()
+	return NewSystem(cfg, make([]Workload, 2))
+}
+
+// sdcRead/sdcWrite push an access down the SDC path of core i.
+func sdcRead(s *System, coreID int, blk mem.BlockAddr, now int64) mem.Response {
+	c := s.cores[coreID]
+	return c.sdcAccess(blk, blk.Addr(), 4, false, now)
+}
+
+func sdcWrite(s *System, coreID int, blk mem.BlockAddr, now int64) mem.Response {
+	c := s.cores[coreID]
+	return c.sdcAccess(blk, blk.Addr(), 4, true, now)
+}
+
+func TestSDCReadFillsAndTracks(t *testing.T) {
+	s := cohSystem(t)
+	resp := sdcRead(s, 0, 100, 0)
+	if resp.Source != mem.ServedDRAM {
+		t.Errorf("cold SDC read served by %v", resp.Source)
+	}
+	if !s.cores[0].sdc.Probe(100) {
+		t.Error("block not filled into SDC")
+	}
+	sharers, _, ok := s.sdcDir.Lookup(100)
+	if !ok || sharers != 1 {
+		t.Errorf("SDCDir sharers = %b, ok=%v", sharers, ok)
+	}
+	// Second read hits locally.
+	resp = sdcRead(s, 0, 100, 1000)
+	if resp.Source != mem.ServedSDC {
+		t.Errorf("warm SDC read served by %v", resp.Source)
+	}
+}
+
+func TestCrossSDCReadSharing(t *testing.T) {
+	s := cohSystem(t)
+	sdcRead(s, 0, 100, 0)
+	resp := sdcRead(s, 1, 100, 1000)
+	if resp.Source != mem.ServedRemote {
+		t.Errorf("remote SDC copy served by %v, want remote transfer", resp.Source)
+	}
+	sharers, state, _ := s.sdcDir.Lookup(100)
+	if sharers != 0b11 {
+		t.Errorf("sharers = %b, want both cores", sharers)
+	}
+	_ = state
+	if !s.cores[1].sdc.Probe(100) {
+		t.Error("reader's SDC not filled")
+	}
+}
+
+func TestSDCWriteInvalidatesRemoteCopies(t *testing.T) {
+	s := cohSystem(t)
+	sdcRead(s, 0, 100, 0)
+	sdcRead(s, 1, 100, 1000)
+	// Core 1 writes: core 0's copy must die; core 1 owns Modified.
+	sdcWrite(s, 1, 100, 2000)
+	if s.cores[0].sdc.Probe(100) {
+		t.Error("writer did not invalidate the remote SDC copy")
+	}
+	sharers, state, ok := s.sdcDir.Lookup(100)
+	if !ok || sharers != 0b10 {
+		t.Errorf("sharers = %b after write", sharers)
+	}
+	if state.String() != "M" {
+		t.Errorf("state = %v, want Modified", state)
+	}
+}
+
+func TestDirtySDCDataReachesDRAMOnRemoteWrite(t *testing.T) {
+	s := cohSystem(t)
+	sdcWrite(s, 0, 100, 0) // dirty in SDC0
+	before := s.dram.TotalStats().Writes
+	sdcWrite(s, 1, 100, 1000) // invalidates dirty copy -> DRAM write-back
+	if got := s.dram.TotalStats().Writes - before; got == 0 {
+		t.Error("dirty remote copy was not written back")
+	}
+}
+
+func TestL1PathPullsBlockOutOfOwnSDC(t *testing.T) {
+	s := cohSystem(t)
+	sdcWrite(s, 0, 100, 0) // dirty in SDC
+	c := s.cores[0]
+	resp := c.l1Access(100, mem.Addr(100<<6), 4, false, 1000)
+	if resp.Source != mem.ServedSDC {
+		t.Errorf("friendly access to SDC-resident block served by %v", resp.Source)
+	}
+	if c.sdc.Probe(100) {
+		t.Error("block still in SDC after transfer to L1")
+	}
+	if !c.l1d.Probe(100) {
+		t.Error("block not in L1D after transfer")
+	}
+	if _, dirty := c.l1d.ProbeDirty(100); !dirty {
+		t.Error("dirtiness lost moving SDC -> L1D")
+	}
+	if sharers, _, ok := s.sdcDir.Lookup(100); ok && sharers != 0 {
+		t.Errorf("SDCDir still tracks %b after transfer", sharers)
+	}
+}
+
+func TestLLCMissPullsBlockOutOfRemoteSDC(t *testing.T) {
+	s := cohSystem(t)
+	sdcWrite(s, 1, 100, 0) // dirty in core 1's SDC
+	before := s.dram.TotalStats().Writes
+	// Core 0 demands the block through the conventional path; the LLC
+	// miss must find it via the SDCDir and invalidate it.
+	c := s.cores[0]
+	resp := c.l1Access(100, mem.Addr(100<<6), 4, false, 1000)
+	if resp.Source == mem.ServedDRAM {
+		t.Error("LLC miss went to DRAM despite a valid SDC copy")
+	}
+	if s.cores[1].sdc.Probe(100) {
+		t.Error("remote SDC copy survived hierarchy demand")
+	}
+	if s.dram.TotalStats().Writes == before {
+		t.Error("dirty SDC copy not written back on hierarchy demand")
+	}
+}
+
+func TestSDCVictimWritebackAndDirCleanup(t *testing.T) {
+	s := cohSystem(t)
+	c := s.cores[0]
+	// Fill one SDC set past capacity with dirty lines. Bench SDC is
+	// 4 KiB 2-way = 32 sets; blocks k*32 share set 0.
+	sets := int64(c.sdc.Config().Sets())
+	before := s.dram.TotalStats().Writes
+	for k := int64(0); k < 4; k++ {
+		sdcWrite(s, 0, mem.BlockAddr(k*sets), int64(k)*1000)
+	}
+	if got := s.dram.TotalStats().Writes - before; got < 2 {
+		t.Errorf("expected dirty victims written back, got %d writes", got)
+	}
+	// Evicted blocks must not linger in the SDCDir as sharers.
+	if sharers, _, ok := s.sdcDir.Lookup(0); ok && sharers != 0 {
+		t.Error("evicted block still tracked in SDCDir")
+	}
+}
+
+// TestSDCDirPrecisionInvariant checks Section III-C's "precise
+// information" property: any block present in an SDC is tracked by the
+// SDCDir with that core's sharer bit set.
+func TestSDCDirPrecisionInvariant(t *testing.T) {
+	s := cohSystem(t)
+	r := rand.New(rand.NewPCG(1, 2))
+	now := int64(0)
+	for op := 0; op < 5000; op++ {
+		coreID := r.IntN(2)
+		blk := mem.BlockAddr(r.IntN(256))
+		now += 10
+		switch r.IntN(4) {
+		case 0:
+			sdcWrite(s, coreID, blk, now)
+		case 1, 2:
+			sdcRead(s, coreID, blk, now)
+		default:
+			c := s.cores[coreID]
+			c.l1Access(blk, blk.Addr(), 4, r.IntN(2) == 0, now)
+		}
+	}
+	for i, c := range s.cores {
+		var violations int
+		c.sdc.ForEachValid(func(ln *cache.Line) {
+			sharers, _, ok := s.sdcDir.Lookup(ln.Blk)
+			if !ok || sharers&(1<<i) == 0 {
+				violations++
+			}
+		})
+		if violations > 0 {
+			t.Errorf("core %d: %d SDC lines untracked by SDCDir", i, violations)
+		}
+	}
+}

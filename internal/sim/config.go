@@ -1,0 +1,348 @@
+// Package sim assembles the full simulated machine of Table I — cores,
+// TLBs, L1D/L2/LLC caches with their prefetchers, the SDC + LP + SDCDir
+// proposal, an idealized full-map cache directory, and DDR4 DRAM — and
+// runs workloads through it in single-core and multi-core modes.
+package sim
+
+import (
+	"fmt"
+
+	"graphmem/internal/cache"
+	"graphmem/internal/coherence"
+	corepkg "graphmem/internal/core"
+	"graphmem/internal/cpu"
+	"graphmem/internal/dram"
+)
+
+// RoutingMode selects how memory accesses are routed to the SDC.
+type RoutingMode int
+
+// Routing modes.
+const (
+	// RouteNone disables the SDC entirely (Baseline and prior-work
+	// configurations).
+	RouteNone RoutingMode = iota
+	// RouteLP consults the Large Predictor per access (the proposal).
+	RouteLP
+	// RouteExpert uses the kernel's per-data-structure annotations
+	// (the Expert Programmer baseline of Section V-C).
+	RouteExpert
+	// RouteBypass classifies with the LP but, instead of an SDC,
+	// cache-averse accesses simply bypass the L2 and LLC on their way
+	// to DRAM and are not cached anywhere above DRAM — the Selective
+	// Cache idea (Gonzalez et al.) the paper's Related Work contrasts
+	// against. Isolates the SDC's contribution from pure bypassing.
+	RouteBypass
+)
+
+// String implements fmt.Stringer.
+func (m RoutingMode) String() string {
+	switch m {
+	case RouteNone:
+		return "none"
+	case RouteLP:
+		return "lp"
+	case RouteExpert:
+		return "expert"
+	case RouteBypass:
+		return "bypass"
+	default:
+		return fmt.Sprintf("RoutingMode(%d)", int(m))
+	}
+}
+
+// Config is a full system configuration.
+type Config struct {
+	// Name labels the configuration in reports ("Baseline", "SDC+LP"...).
+	Name string
+	// Cores is the number of cores.
+	Cores int
+
+	CPU cpu.Config
+
+	// L1D, L2 are per-core private caches; LLC is shared and sized at
+	// LLCPerCoreBytes * Cores.
+	L1D, L2         cache.Config
+	LLCPerCoreBytes int
+	LLCWays         int
+	LLCLatency      int64
+	LLCMSHRs        int
+
+	// LLCTOPT selects the transpose-driven T-OPT replacement at the
+	// LLC (needs workload oracles).
+	LLCTOPT bool
+	// LLCRRIP selects SRRIP replacement at the LLC (related-work
+	// comparison; the paper cites RRIP-family policies as struggling
+	// with graph workloads).
+	LLCRRIP bool
+	// LLCPOPT degrades T-OPT to its practical variant (P-OPT, Balaji
+	// et al.): one LLC way per set is given up to the cached
+	// re-reference matrix and the oracle's ranks are quantized to
+	// coarse epochs.
+	LLCPOPT bool
+	// L2Distill turns the L2 into a Line Distillation cache.
+	L2Distill     bool
+	L2DistillWays int
+
+	// Routing selects the SDC routing mode; SDC/LP/SDCDir are only
+	// used when Routing != RouteNone.
+	Routing              RoutingMode
+	SDC                  cache.Config
+	LP                   corepkg.LPConfig
+	SDCDirEntriesPerCore int
+	SDCDirWays           int
+
+	// DirLatency is the cache-directory round latency charged to
+	// coherence checks (the directory is co-located with the LLC).
+	DirLatency int64
+
+	// NoPrefetch disables every hardware prefetcher (ablation).
+	NoPrefetch bool
+
+	// VictimEntries, when positive, attaches a fully-associative
+	// victim cache (Jouppi) of that many lines beside the L1D — the
+	// conflict-miss-oriented related-work design of Section VI.
+	VictimEntries int
+
+	// LPAdaptive replaces the fixed τ_glob with the online-adaptive
+	// threshold extension (see core.AdaptiveLP).
+	LPAdaptive bool
+
+	DRAM         dram.Config
+	DRAMChannels int
+
+	// Warmup and Measure are the per-core instruction windows.
+	Warmup, Measure int64
+}
+
+// TableI returns the paper's baseline configuration (Table I) for the
+// given core count, with the default simulation windows.
+func TableI(cores int) Config {
+	return Config{
+		Name:  "Baseline",
+		Cores: cores,
+		CPU:   cpu.DefaultConfig(),
+		L1D: cache.Config{
+			Name: "L1D", SizeBytes: 32 << 10, Ways: 8, Latency: 4, MSHRs: 10,
+		},
+		L2: cache.Config{
+			Name: "L2C", SizeBytes: 1 << 20, Ways: 16, Latency: 10, MSHRs: 16,
+		},
+		LLCPerCoreBytes: 1408 << 10, // 1.375 MiB
+		LLCWays:         11,
+		LLCLatency:      56,
+		LLCMSHRs:        64,
+		SDC: cache.Config{
+			Name: "SDC", SizeBytes: 8 << 10, Ways: 2, Latency: 1, MSHRs: 10,
+		},
+		LP:                   corepkg.DefaultLPConfig(),
+		SDCDirEntriesPerCore: 128,
+		SDCDirWays:           8,
+		DirLatency:           56,
+		DRAM:                 dram.DefaultConfig(),
+		DRAMChannels:         cores, // Table I provisions DRAM per core
+		Warmup:               200_000,
+		Measure:              1_000_000,
+	}
+}
+
+// WithWindows returns a copy with the given warm-up and measurement
+// windows (instructions per core).
+func (c Config) WithWindows(warmup, measure int64) Config {
+	c.Warmup, c.Measure = warmup, measure
+	return c
+}
+
+// WithSDCLP returns the SDC+LP proposal configuration.
+func (c Config) WithSDCLP() Config {
+	c.Name = "SDC+LP"
+	c.Routing = RouteLP
+	return c
+}
+
+// WithAdaptiveLP returns the SDC+LP configuration with the adaptive
+// τ_glob extension enabled (this repository's future-work feature; the
+// paper uses a fixed τ_glob = 8).
+func (c Config) WithAdaptiveLP() Config {
+	c.Name = "SDC+LP adaptive-tau"
+	c.Routing = RouteLP
+	c.LPAdaptive = true
+	return c
+}
+
+// WithBypassOnly returns the Selective-Cache-style ablation: LP-driven
+// L2/LLC bypass with no SDC to catch short-term reuse.
+func (c Config) WithBypassOnly() Config {
+	c.Name = "LP bypass (no SDC)"
+	c.Routing = RouteBypass
+	return c
+}
+
+// WithExpert returns the Expert Programmer configuration: the SDC fed
+// by per-data-structure annotations instead of the LP.
+func (c Config) WithExpert() Config {
+	c.Name = "Expert"
+	c.Routing = RouteExpert
+	return c
+}
+
+// WithTOPT returns the T-OPT comparison configuration.
+func (c Config) WithTOPT() Config {
+	c.Name = "T-OPT"
+	c.LLCTOPT = true
+	return c
+}
+
+// WithRRIP returns the SRRIP-LLC comparison configuration.
+func (c Config) WithRRIP() Config {
+	c.Name = "SRRIP"
+	c.LLCRRIP = true
+	return c
+}
+
+// WithPOPT returns the P-OPT configuration: the practical
+// implementation of T-OPT (Balaji et al.), which stores a quantized
+// re-reference matrix through the LLC instead of consulting an ideal
+// oracle. Modelled as T-OPT with one LLC way sacrificed to the cached
+// matrix and epoch-coarsened ranks.
+func (c Config) WithPOPT() Config {
+	c.Name = "P-OPT"
+	c.LLCTOPT = true
+	c.LLCPOPT = true
+	return c
+}
+
+// WithDistill returns the Distill Cache comparison configuration: a
+// quarter of the L2's ways become the word-organized cache.
+func (c Config) WithDistill() Config {
+	c.Name = "Distill"
+	c.L2Distill = true
+	c.L2DistillWays = c.L2.Ways / 4
+	return c
+}
+
+// WithBigL1D returns the "L1D 40KB ISO" configuration: the SDC storage
+// budget folded into the L1D as extra ways (40 KiB 10-way at Table I
+// scale). The set count stays fixed so the geometry remains valid at
+// any profile scale.
+func (c Config) WithBigL1D() Config {
+	c.Name = "L1D 40KB ISO"
+	sets := c.L1D.Sets()
+	c.L1D.SizeBytes += c.SDC.SizeBytes
+	if c.L1D.SizeBytes%(sets*64) != 0 {
+		panic("sim: L1D ISO size not way-aligned")
+	}
+	c.L1D.Ways = c.L1D.SizeBytes / (sets * 64)
+	return c
+}
+
+// With2xLLC returns the doubled-LLC comparison configuration.
+func (c Config) With2xLLC() Config {
+	c.Name = "2xLLC"
+	c.LLCPerCoreBytes *= 2
+	return c
+}
+
+// WithSDCSize reconfigures the SDC size per the Section V-B1 design
+// space exploration: 8 KiB (2-way, 1 cycle), 16 KiB (4-way, 3 cycles)
+// or 32 KiB (8-way, 4 cycles).
+func (c Config) WithSDCSize(kb int) Config {
+	switch kb {
+	case 8:
+		c.SDC.SizeBytes, c.SDC.Ways, c.SDC.Latency = 8<<10, 2, 1
+	case 16:
+		c.SDC.SizeBytes, c.SDC.Ways, c.SDC.Latency = 16<<10, 4, 3
+	case 32:
+		c.SDC.SizeBytes, c.SDC.Ways, c.SDC.Latency = 32<<10, 8, 4
+	default:
+		panic(fmt.Sprintf("sim: unsupported SDC size %d KB", kb))
+	}
+	c.Name = fmt.Sprintf("SDC+LP %dKB", kb)
+	return c
+}
+
+// WithLP overrides the LP geometry (Sections V-B2/V-B3).
+func (c Config) WithLP(entries, ways int, tau uint64) Config {
+	c.LP = corepkg.LPConfig{Entries: entries, Ways: ways, Tau: tau}
+	c.Name = fmt.Sprintf("SDC+LP lp(%d,%dw,τ%d)", entries, ways, tau)
+	return c
+}
+
+// WithVictimCache returns the victim-cache comparison configuration:
+// a small fully-associative buffer catching L1D eviction victims
+// (Jouppi 1990), which relies on conflict locality the paper argues
+// graph gathers lack.
+func (c Config) WithVictimCache(entries int) Config {
+	c.Name = fmt.Sprintf("VictimCache-%d", entries)
+	c.VictimEntries = entries
+	return c
+}
+
+// WithoutPrefetchers disables the next-line and SPP prefetchers — the
+// ablation isolating how much of each scheme's benefit depends on
+// prefetching.
+func (c Config) WithoutPrefetchers() Config {
+	c.Name += " noPF"
+	c.NoPrefetch = true
+	return c
+}
+
+// WithDirLatency overrides the coherence-directory round latency — the
+// ablation for the SDC miss path's "lightweight coherence message"
+// cost (Section III-D).
+func (c Config) WithDirLatency(cycles int64) Config {
+	c.Name += fmt.Sprintf(" dir%d", cycles)
+	c.DirLatency = cycles
+	return c
+}
+
+// BenchScale shrinks the main cache hierarchy by 4x (keeping the
+// geometry ratios of Table I) so that proportionally smaller
+// bench-profile graphs still exceed the LLC. The SDC and LP keep their
+// paper sizes: the SDC's effectiveness depends on holding the hottest
+// hub vertices, a working set that shrinks far more slowly than the
+// graph itself.
+func (c Config) BenchScale() Config {
+	c.Name += " (bench-scale)"
+	c.L1D.SizeBytes /= 4   // 8 KiB
+	c.L2.SizeBytes /= 8    // 128 KiB
+	c.LLCPerCoreBytes /= 8 // 176 KiB/core
+	// The SDC keeps its full 8 KiB: its job is short-term reuse
+	// capture, which does not shrink with the graph.
+	return c
+}
+
+// Variants returns the seven evaluated configurations derived from c as
+// the baseline, in the paper's presentation order.
+func Variants(base Config) []Config {
+	return []Config{
+		base,
+		base.WithBigL1D(),
+		base.WithDistill(),
+		base.WithTOPT(),
+		base.With2xLLC(),
+		base.WithExpert(),
+		base.WithSDCLP(),
+	}
+}
+
+// sdcDirConfig materializes the coherence directory configuration.
+func (c Config) sdcDirConfig() coherence.Config {
+	return coherence.Config{
+		EntriesPerCore: c.SDCDirEntriesPerCore,
+		Ways:           c.SDCDirWays,
+		Cores:          c.Cores,
+		Latency:        1,
+	}
+}
+
+// llcConfig materializes the shared LLC configuration.
+func (c Config) llcConfig() cache.Config {
+	return cache.Config{
+		Name:      "LLC",
+		SizeBytes: c.LLCPerCoreBytes * c.Cores,
+		Ways:      c.LLCWays,
+		Latency:   c.LLCLatency,
+		MSHRs:     c.LLCMSHRs * c.Cores,
+	}
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"graphmem/internal/stats"
+	"graphmem/internal/trace"
+)
+
+// Multi-core simulation runs each workload's kernel in a producer
+// goroutine that streams trace items over a bounded channel; a single
+// consumer (the scheduler) interleaves the streams by always advancing
+// the core with the smallest local clock, which keeps the shared
+// LLC/DRAM/directory timestamps near-monotonic. Cores that complete
+// their measurement window keep executing — and keep contending — until
+// every core has finished, exactly like ChampSim's multi-programmed
+// replay; the weighted-speed-up metric of Section IV-D is then computed
+// by the harness from per-thread shared and isolated IPCs.
+
+const mcChunk = 4096
+
+// mcItem is one element of a producer stream: either a trace record or
+// a progress marker for the T-OPT oracle.
+type mcItem struct {
+	rec        trace.Record
+	progress   uint64
+	isProgress bool
+}
+
+// mcProducer is the trace.Sink running inside a kernel goroutine.
+type mcProducer struct {
+	ch   chan []mcItem
+	buf  []mcItem
+	stop *atomic.Bool
+}
+
+// Access implements trace.Sink (called from the kernel goroutine).
+func (p *mcProducer) Access(r trace.Record) bool {
+	p.buf = append(p.buf, mcItem{rec: r})
+	if len(p.buf) >= mcChunk {
+		p.ch <- p.buf
+		p.buf = make([]mcItem, 0, mcChunk)
+	}
+	return !p.stop.Load()
+}
+
+// SetProgress implements trace.ProgressSink.
+func (p *mcProducer) SetProgress(edges uint64) {
+	p.buf = append(p.buf, mcItem{progress: edges, isProgress: true})
+}
+
+// flushAndClose drains the final partial chunk.
+func (p *mcProducer) flushAndClose() {
+	if len(p.buf) > 0 {
+		p.ch <- p.buf
+		p.buf = nil
+	}
+	close(p.ch)
+}
+
+// mcStream is the consumer-side iterator over one core's items.
+type mcStream struct {
+	ch     chan []mcItem
+	cur    []mcItem
+	pos    int
+	closed bool
+}
+
+// next returns the next item, blocking on the producer; ok=false when
+// the stream ended.
+func (s *mcStream) next() (mcItem, bool) {
+	for {
+		if s.pos < len(s.cur) {
+			it := s.cur[s.pos]
+			s.pos++
+			return it, true
+		}
+		if s.closed {
+			return mcItem{}, false
+		}
+		chunk, ok := <-s.ch
+		if !ok {
+			s.closed = true
+			return mcItem{}, false
+		}
+		s.cur, s.pos = chunk, 0
+	}
+}
+
+// drain discards everything left in the stream (after global stop).
+func (s *mcStream) drain() {
+	for range s.ch {
+	}
+	s.closed = true
+}
+
+// MultiResult is the outcome of a multi-core run.
+type MultiResult struct {
+	Config string
+	// PerCore holds each core's measurement-window stats; idle slots
+	// have zero Instructions.
+	PerCore []stats.CoreStats
+	// Names are the per-slot workload names.
+	Names []string
+}
+
+// IPCs returns the per-core measured IPCs.
+func (m *MultiResult) IPCs() []float64 {
+	out := make([]float64, len(m.PerCore))
+	for i := range m.PerCore {
+		out[i] = m.PerCore[i].IPC()
+	}
+	return out
+}
+
+// RunMultiCore simulates the given workloads sharing one machine. Nil
+// instances mark idle cores (used for isolation runs).
+func RunMultiCore(cfg Config, ws []Workload) *MultiResult {
+	return RunMultiCoreOn(NewSystem(cfg, ws), ws)
+}
+
+// RunMultiCoreOn runs the mix on a pre-built system (which must have
+// been constructed with the same workloads), so callers can inspect
+// machine state afterwards.
+func RunMultiCoreOn(sys *System, ws []Workload) *MultiResult {
+	type slot struct {
+		c      *coreCtx
+		stream *mcStream
+		prod   *mcProducer
+		stop   *atomic.Bool
+		alive  bool
+	}
+	var slots []*slot
+	for i, c := range sys.cores {
+		if ws[i].Inst == nil {
+			slots = append(slots, &slot{c: c})
+			continue
+		}
+		stop := &atomic.Bool{}
+		prod := &mcProducer{ch: make(chan []mcItem, 4), buf: make([]mcItem, 0, mcChunk), stop: stop}
+		sl := &slot{
+			c:      c,
+			stream: &mcStream{ch: prod.ch},
+			prod:   prod,
+			stop:   stop,
+			alive:  true,
+		}
+		slots = append(slots, sl)
+		inst := ws[i].Inst
+		go func() {
+			defer prod.flushAndClose()
+			// Restart the kernel until the consumer calls a stop; a
+			// kernel that emits nothing ends the stream.
+			for !stop.Load() {
+				tr := trace.New(prod)
+				before := tr.Seq()
+				inst.Run(tr)
+				if tr.Seq() == before {
+					return
+				}
+			}
+		}()
+	}
+
+	active := 0
+	for _, sl := range slots {
+		if sl.alive {
+			active++
+		}
+	}
+
+	// Scheduler: repeatedly advance the live core with the smallest
+	// dispatch clock, so memory requests hit the shared LLC/DRAM
+	// reservations in near-timestamp order (see cpu.DispatchCycle).
+	remaining := active
+	for remaining > 0 {
+		var pick *slot
+		for _, sl := range slots {
+			if !sl.alive {
+				continue
+			}
+			if pick == nil || sl.c.cpuCore.DispatchCycle() < pick.c.cpuCore.DispatchCycle() {
+				pick = sl
+			}
+		}
+		if pick == nil {
+			break
+		}
+		it, ok := pick.stream.next()
+		if !ok {
+			// Stream ended (kernel emitted nothing on restart).
+			pick.alive = false
+			if !pick.c.doneMeasure {
+				pick.c.finish()
+				remaining--
+			}
+			continue
+		}
+		if it.isProgress {
+			if o, okp := pick.c.oracle.(trace.ProgressSink); okp && o != nil {
+				o.SetProgress(it.progress)
+			}
+			continue
+		}
+		wasDone := pick.c.doneMeasure
+		pick.c.observe(it.rec)
+		if !wasDone && pick.c.doneMeasure {
+			remaining--
+		}
+	}
+
+	// Global stop: signal producers and drain.
+	for _, sl := range slots {
+		if sl.stop != nil {
+			sl.stop.Store(true)
+		}
+	}
+	for _, sl := range slots {
+		if sl.stream != nil {
+			sl.stream.drain()
+		}
+	}
+
+	res := &MultiResult{Config: sys.cfg.Name}
+	for i, sl := range slots {
+		sl.c.finish()
+		res.PerCore = append(res.PerCore, sl.c.measured)
+		res.Names = append(res.Names, ws[i].Name)
+	}
+	return res
+}

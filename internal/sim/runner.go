@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+
+	"graphmem/internal/mem"
+	"graphmem/internal/stats"
+	"graphmem/internal/trace"
+)
+
+// snapshotCounters captures the running totals of every counter that
+// feeds the measurement-window delta.
+func (c *coreCtx) snapshotCounters() stats.CoreStats {
+	var s stats.CoreStats
+	s.Cycles = c.cpuCore.Cycle()
+	s.Instructions = c.cpuCore.Instructions
+	s.MemOps = c.cpuCore.MemOps
+	s.Loads = c.cpuCore.Loads
+	s.Stores = c.cpuCore.Stores
+	s.TotalLoadLatency = c.cpuCore.LoadLatency
+	s.L1D = c.l1d.Stats
+	s.L2 = c.l2.Stats
+	s.LLC = c.sys.llc.Stats
+	if c.sdc != nil {
+		s.SDC = c.sdc.Stats
+	}
+	s.DTLB = c.tlbs.DTLB.Stats
+	s.STLB = c.tlbs.STLB.Stats
+	if c.lp != nil {
+		s.LPPredAverse = c.lp.PredAverse
+		s.LPPredFriendly = c.lp.PredFriendly
+		s.LPTableMisses = c.lp.TableMisses
+	}
+	if c.sys.sdcDir != nil {
+		s.SDCDirLookups = c.sys.sdcDir.Lookups
+		s.SDCDirEvictions = c.sys.sdcDir.Evictions
+	}
+	d := c.sys.dram.TotalStats()
+	s.DRAMReads = d.Reads
+	s.DRAMWrites = d.Writes
+	s.DRAMRowHits = d.RowHits
+	s.DRAMRowMisses = d.RowMisses
+	s.ServedSDC = c.served[mem.ServedSDC]
+	s.ServedL1D = c.served[mem.ServedL1D]
+	s.ServedL2 = c.served[mem.ServedL2]
+	s.ServedLLC = c.served[mem.ServedLLC]
+	s.ServedRemote = c.served[mem.ServedRemote]
+	s.ServedDRAM = c.served[mem.ServedDRAM]
+	return s
+}
+
+func subCache(a, b stats.CacheStats) stats.CacheStats {
+	return stats.CacheStats{
+		Hits:       a.Hits - b.Hits,
+		Misses:     a.Misses - b.Misses,
+		Prefetches: a.Prefetches - b.Prefetches,
+		Writebacks: a.Writebacks - b.Writebacks,
+		Evictions:  a.Evictions - b.Evictions,
+		MergedMSHR: a.MergedMSHR - b.MergedMSHR,
+	}
+}
+
+// delta computes end-minus-start across every counter.
+func delta(end, start stats.CoreStats) stats.CoreStats {
+	d := stats.CoreStats{
+		Cycles:           end.Cycles - start.Cycles,
+		Instructions:     end.Instructions - start.Instructions,
+		MemOps:           end.MemOps - start.MemOps,
+		Loads:            end.Loads - start.Loads,
+		Stores:           end.Stores - start.Stores,
+		TotalLoadLatency: end.TotalLoadLatency - start.TotalLoadLatency,
+		L1D:              subCache(end.L1D, start.L1D),
+		SDC:              subCache(end.SDC, start.SDC),
+		L2:               subCache(end.L2, start.L2),
+		LLC:              subCache(end.LLC, start.LLC),
+		DTLB:             subCache(end.DTLB, start.DTLB),
+		STLB:             subCache(end.STLB, start.STLB),
+		ServedL1D:        end.ServedL1D - start.ServedL1D,
+		ServedSDC:        end.ServedSDC - start.ServedSDC,
+		ServedL2:         end.ServedL2 - start.ServedL2,
+		ServedLLC:        end.ServedLLC - start.ServedLLC,
+		ServedRemote:     end.ServedRemote - start.ServedRemote,
+		ServedDRAM:       end.ServedDRAM - start.ServedDRAM,
+		LPPredAverse:     end.LPPredAverse - start.LPPredAverse,
+		LPPredFriendly:   end.LPPredFriendly - start.LPPredFriendly,
+		LPTableMisses:    end.LPTableMisses - start.LPTableMisses,
+		SDCDirLookups:    end.SDCDirLookups - start.SDCDirLookups,
+		SDCDirEvictions:  end.SDCDirEvictions - start.SDCDirEvictions,
+		DRAMReads:        end.DRAMReads - start.DRAMReads,
+		DRAMWrites:       end.DRAMWrites - start.DRAMWrites,
+		DRAMRowHits:      end.DRAMRowHits - start.DRAMRowHits,
+		DRAMRowMisses:    end.DRAMRowMisses - start.DRAMRowMisses,
+	}
+	return d
+}
+
+// observe processes one record through the core and advances the
+// window state machine. It returns false once the measure window is
+// complete.
+func (c *coreCtx) observe(r trace.Record) bool {
+	c.cpuCore.Access(r)
+	cfg := c.sys.cfg
+	if !c.inMeasure {
+		if c.cpuCore.Instructions >= cfg.Warmup {
+			c.baseCounters = c.snapshotCounters()
+			c.inMeasure = true
+		}
+		return true
+	}
+	if !c.doneMeasure && c.cpuCore.Instructions >= c.baseCounters.Instructions+cfg.Measure {
+		c.measured = delta(c.snapshotCounters(), c.baseCounters)
+		c.doneMeasure = true
+	}
+	return !c.doneMeasure
+}
+
+// finish closes out a core whose trace ended before the windows filled:
+// whatever ran after warm-up is measured.
+func (c *coreCtx) finish() {
+	if c.doneMeasure {
+		return
+	}
+	if !c.inMeasure {
+		// The whole (short) run becomes the measurement.
+		c.baseCounters = stats.CoreStats{}
+		c.inMeasure = true
+	}
+	c.measured = delta(c.snapshotCounters(), c.baseCounters)
+	c.doneMeasure = true
+}
+
+// singleSink adapts a coreCtx to trace.Sink for single-core runs.
+type singleSink struct {
+	c *coreCtx
+}
+
+// Access implements trace.Sink.
+func (s *singleSink) Access(r trace.Record) bool { return s.c.observe(r) }
+
+// SetProgress implements trace.ProgressSink, feeding the T-OPT oracle.
+func (s *singleSink) SetProgress(edges uint64) {
+	if o, ok := s.c.oracle.(trace.ProgressSink); ok && o != nil {
+		o.SetProgress(edges)
+	}
+}
+
+// Result is the outcome of a single-core run.
+type Result struct {
+	Config   string
+	Workload string
+	Stats    stats.CoreStats
+	// Reruns counts how many times the kernel restarted to fill the
+	// instruction windows.
+	Reruns int
+}
+
+// IPC is the measured instructions per cycle.
+func (r *Result) IPC() float64 { return r.Stats.IPC() }
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: %s", r.Config, r.Workload, r.Stats.String())
+}
+
+// RunSingleCore simulates workload w alone on a machine configured by
+// cfg (which must have Cores == 1 for a private machine, or more for
+// an "isolation on the shared machine" run with idle cores).
+func RunSingleCore(cfg Config, w Workload) *Result {
+	ws := make([]Workload, cfg.Cores)
+	ws[0] = w
+	sys := NewSystem(cfg, ws)
+	return sys.RunCore0(w)
+}
+
+// RunCore0 drives workload w on core 0 until its windows fill.
+func (s *System) RunCore0(w Workload) *Result {
+	c := s.cores[0]
+	sink := &singleSink{c: c}
+	reruns := 0
+	for !c.doneMeasure {
+		tr := trace.New(sink)
+		before := c.cpuCore.Instructions
+		w.Inst.Run(tr)
+		if c.cpuCore.Instructions == before {
+			break // kernel emitted nothing; windows cannot fill
+		}
+		if !c.doneMeasure {
+			reruns++
+		}
+	}
+	c.finish()
+	return &Result{
+		Config:   s.cfg.Name,
+		Workload: w.Name,
+		Stats:    c.measured,
+		Reruns:   reruns,
+	}
+}

@@ -1,0 +1,778 @@
+package sim
+
+import (
+	"graphmem/internal/cache"
+	"graphmem/internal/coherence"
+	corepkg "graphmem/internal/core"
+	"graphmem/internal/cpu"
+	"graphmem/internal/dram"
+	"graphmem/internal/kernels"
+	"graphmem/internal/mem"
+	"graphmem/internal/prefetch"
+	"graphmem/internal/stats"
+	"graphmem/internal/tlb"
+)
+
+// ptOffset places the synthetic page-table region far inside each
+// core's address window, beyond any workload allocation.
+const ptOffset = mem.Addr(1) << 39
+
+// Workload binds a prepared kernel instance to the core slot whose
+// address window its regions live in.
+type Workload struct {
+	// Name labels the workload ("pr.kron", ...).
+	Name string
+	// Inst is the kernel instance, prepared with mem.NewSpace(slot).
+	Inst kernels.Instance
+	// Space is the address space the instance was prepared in.
+	Space *mem.Space
+}
+
+// Observer receives every demand load with its serving level, during
+// the measurement window only (the Fig. 3 characterization hook).
+type Observer func(coreID int, pc uint64, blk mem.BlockAddr, served mem.ServedBy)
+
+// System is one simulated machine instance running one or more
+// workloads.
+type System struct {
+	cfg    Config
+	llc    *cache.Cache
+	sdcDir *coherence.SDCDir
+	dram   *dram.Memory
+	cores  []*coreCtx
+
+	// Observer, when set, sees demand loads in the measure window.
+	Observer Observer
+}
+
+type coreCtx struct {
+	id  int
+	sys *System
+	w   Workload
+
+	cpuCore *cpu.Core
+	l1d     *cache.Cache
+	victim  *cache.Cache
+	l2      *cache.Cache
+	sdc     *cache.Cache
+	lp      *corepkg.LP
+	alp     *corepkg.AdaptiveLP
+	tlbs    *tlb.Hierarchy
+	l1pf    prefetch.Prefetcher
+	sdcpf   prefetch.Prefetcher
+	l2pf    *prefetch.SPP
+	oracle  cache.NextUseOracle
+	irreg   []*mem.Region
+	noSPP   bool
+
+	pfBuf []mem.BlockAddr
+
+	// Window accounting.
+	inMeasure    bool
+	doneMeasure  bool
+	baseCounters stats.CoreStats // snapshot at warm-up end
+
+	// Final measure-window stats (valid once doneMeasure).
+	measured stats.CoreStats
+
+	// Serving-level counters (running totals; snapshot like the rest).
+	served [8]int64
+}
+
+// oracleMux dispatches T-OPT rank queries to the owning core's
+// workload oracle based on the address window.
+type oracleMux struct {
+	oracles []cache.NextUseOracle
+}
+
+// poptOracle coarsens ranks to 32 epochs, modelling P-OPT's quantized
+// re-reference matrix.
+type poptOracle struct {
+	inner cache.NextUseOracle
+}
+
+// Rank implements cache.NextUseOracle.
+func (p poptOracle) Rank(blk mem.BlockAddr) uint8 {
+	r := p.inner.Rank(blk)
+	if r == cache.RankMax {
+		return r
+	}
+	return r &^ 7
+}
+
+// Rank implements cache.NextUseOracle.
+func (m *oracleMux) Rank(blk mem.BlockAddr) uint8 {
+	coreID := int(uint64(blk) >> (mem.CoreSpaceBits - mem.BlockBits))
+	if coreID < len(m.oracles) && m.oracles[coreID] != nil {
+		return m.oracles[coreID].Rank(blk)
+	}
+	return cache.RankDefault
+}
+
+// NewSystem builds a machine from cfg with one workload per core slot.
+// Slots may hold a zero Workload (idle core).
+func NewSystem(cfg Config, ws []Workload) *System {
+	if len(ws) != cfg.Cores {
+		panic("sim: workload count must equal core count")
+	}
+	s := &System{cfg: cfg, dram: dram.NewMemory(cfg.DRAM, cfg.DRAMChannels)}
+
+	llcCfg := cfg.llcConfig()
+	if cfg.LLCRRIP {
+		llcCfg.Policy = cache.SRRIP{}
+	}
+	mux := &oracleMux{oracles: make([]cache.NextUseOracle, cfg.Cores)}
+	if cfg.LLCTOPT {
+		var oracle cache.NextUseOracle = mux
+		if cfg.LLCPOPT {
+			// P-OPT: the re-reference matrix occupies one LLC way per
+			// set and is itself epoch-quantized.
+			llcCfg.SizeBytes = llcCfg.SizeBytes / llcCfg.Ways * (llcCfg.Ways - 1)
+			llcCfg.Ways--
+			oracle = poptOracle{inner: mux}
+		}
+		llcCfg.Policy = &cache.TOPT{Oracle: oracle}
+	}
+	s.llc = cache.New(llcCfg)
+
+	if cfg.Routing == RouteLP || cfg.Routing == RouteExpert {
+		s.sdcDir = coherence.New(cfg.sdcDirConfig(), s.onSDCDirEvict)
+	}
+
+	for i := 0; i < cfg.Cores; i++ {
+		c := &coreCtx{id: i, sys: s, w: ws[i]}
+		l1Cfg := cfg.L1D
+		c.l1d = cache.New(l1Cfg)
+		if cfg.VictimEntries > 0 {
+			c.victim = cache.New(cache.Config{
+				Name:      "VC",
+				SizeBytes: cfg.VictimEntries * mem.BlockSize,
+				Ways:      cfg.VictimEntries, // fully associative
+				Latency:   1,
+			})
+		}
+		l2Cfg := cfg.L2
+		if cfg.L2Distill {
+			l2Cfg.Distill = true
+			l2Cfg.DistillWOCWays = cfg.L2DistillWays
+		}
+		c.l2 = cache.New(l2Cfg)
+		if cfg.Routing == RouteLP || cfg.Routing == RouteExpert {
+			c.sdc = cache.New(cfg.SDC)
+			c.sdcpf = prefetch.NextLine{}
+		}
+		if cfg.Routing == RouteLP || cfg.Routing == RouteBypass {
+			if cfg.LPAdaptive {
+				c.alp = corepkg.NewAdaptiveLP(cfg.LP)
+				c.lp = c.alp.LP
+			} else {
+				c.lp = corepkg.NewLP(cfg.LP)
+			}
+		}
+		c.l1pf = prefetch.NextLine{}
+		c.l2pf = prefetch.NewSPP()
+		if cfg.NoPrefetch {
+			c.l1pf = prefetch.None{}
+			c.sdcpf = prefetch.None{}
+			c.noSPP = true
+		}
+		ptBase := mem.Addr(uint64(i)<<mem.CoreSpaceBits) + ptOffset
+		cc := c
+		c.tlbs = tlb.DefaultHierarchy(ptBase, func(addr mem.Addr, now int64) int64 {
+			return cc.walkRead(addr, now)
+		})
+		c.cpuCore = cpu.New(cfg.CPU, func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
+			return cc.access(pc, addr, size, write, issue)
+		})
+		if ws[i].Inst != nil {
+			c.irreg = ws[i].Inst.IrregularRegions()
+			if cfg.LLCTOPT {
+				c.oracle = ws[i].Inst.Oracle()
+				mux.oracles[i] = c.oracle
+			}
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s
+}
+
+// onSDCDirEvict implements the SDCDir replacement semantics of Section
+// III-C: every SDC holding the block invalidates it, writing back to
+// DRAM if dirty. The write-back is charged to the DRAM state at the
+// current approximate time (the owning core's clock).
+func (s *System) onSDCDirEvict(blk mem.BlockAddr, sharers uint64) {
+	for i := 0; i < s.cfg.Cores; i++ {
+		if sharers&(1<<i) == 0 {
+			continue
+		}
+		c := s.cores[i]
+		if c.sdc == nil {
+			continue
+		}
+		if present, dirty := c.sdc.Invalidate(blk); present && dirty {
+			s.dram.Access(blk, true, c.cpuCore.Cycle())
+		}
+	}
+}
+
+// isIrregular applies the Expert Programmer classification.
+func (c *coreCtx) isIrregular(addr mem.Addr) bool {
+	for _, r := range c.irreg {
+		if r.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// access is the core-side entry point for every demand memory access.
+func (c *coreCtx) access(pc uint64, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
+	blk := addr.Block()
+
+	// Address translation proceeds in parallel with the (VIPT) L1D/SDC
+	// lookup; only its excess latency delays the response.
+	transReady := c.tlbs.Translate(addr.Page(), issue)
+
+	averse := false
+	switch c.sys.cfg.Routing {
+	case RouteLP, RouteBypass:
+		averse = c.lp.PredictAndUpdate(pc, blk)
+	case RouteExpert:
+		averse = c.isIrregular(addr)
+	}
+
+	var resp mem.Response
+	switch {
+	case averse && c.sys.cfg.Routing == RouteBypass:
+		resp = c.bypassAccess(blk, addr, size, write, issue)
+	case averse:
+		resp = c.sdcAccess(blk, addr, size, write, issue)
+	default:
+		resp = c.l1Access(blk, addr, size, write, issue)
+	}
+	if transReady > resp.Ready {
+		resp.Ready = transReady
+	}
+
+	if !write {
+		c.served[resp.Source]++
+		if c.alp != nil {
+			c.alp.Feedback(averse, resp.Source)
+		}
+		if c.inMeasure && c.sys.Observer != nil {
+			c.sys.Observer(c.id, pc, blk, resp.Source)
+		}
+	}
+	return resp
+}
+
+// walkRead serves a page-walker leaf-PTE read: it enters the hierarchy
+// at the L2, as hardware walkers do.
+func (c *coreCtx) walkRead(addr mem.Addr, now int64) int64 {
+	resp := c.l2Access(addr.Block(), addr, 8, false, false, now)
+	return resp.Ready
+}
+
+// bypassAccess is the Selective-Cache-style ablation path: a
+// cache-averse access checks the L1D (it is adjacent and VIPT), then
+// goes straight to DRAM without allocating anywhere — L2/LLC bypass
+// with no SDC. Cached copies in the local hierarchy still serve the
+// access for correctness.
+func (c *coreCtx) bypassAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
+	s := c.sys
+	res := c.l1d.Lookup(blk, addr, size, write, false, issue)
+	if res.Hit {
+		return mem.Response{Ready: res.ReadyAt, Source: mem.ServedL1D}
+	}
+	t := res.ReadyAt
+	if present, _ := c.l2.ProbeDirty(blk); present {
+		r := c.l2.Lookup(blk, addr, size, write, false, t)
+		return mem.Response{Ready: r.ReadyAt, Source: mem.ServedL2}
+	}
+	if present, _ := s.llc.ProbeDirty(blk); present {
+		r := s.llc.Lookup(blk, addr, size, write, false, t+c.l2.Latency())
+		return mem.Response{Ready: r.ReadyAt, Source: mem.ServedLLC}
+	}
+	done := s.dram.Access(blk, write, t)
+	if write {
+		done = t + 1 // write-through to DRAM, off the critical path
+	}
+	return mem.Response{Ready: done, Source: mem.ServedDRAM}
+}
+
+// --- SDC path (Section III-D) ---
+
+func (c *coreCtx) sdcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
+	s := c.sys
+	res := c.sdc.Lookup(blk, addr, size, write, false, issue)
+	if res.Hit {
+		if write {
+			// A write upgrade: any other SDC sharing the line must
+			// invalidate its copy before we own it Modified.
+			if sharers, _, ok := s.sdcDir.Lookup(blk); ok {
+				for i := range s.cores {
+					if i == c.id || sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
+						continue
+					}
+					s.cores[i].sdc.Invalidate(blk)
+				}
+			}
+			s.sdcDir.AddSharer(blk, c.id, true)
+		}
+		return mem.Response{Ready: res.ReadyAt, Source: mem.ServedSDC}
+	}
+
+	// Miss: merge into an outstanding fill if one exists.
+	t := res.ReadyAt // lookup latency charged
+	if m := c.sdc.MSHR(); m != nil {
+		if ready, inflight := m.Lookup(blk, t); inflight {
+			c.sdc.Stats.MergedMSHR++
+			return mem.Response{Ready: max64(ready, t), Source: mem.ServedSDC}
+		}
+		t = m.Allocate(blk, t)
+	}
+
+	// Coherence: the SDCDir and the cache directory are checked while
+	// the DRAM access is launched speculatively (the "fast path to
+	// DRAM" of Section III-A); whichever source holds the valid copy
+	// serves. The local L1D/L2 are probed en route (they sit between
+	// the SDC and the directory), so locally-resident blocks serve at
+	// their own latency rather than a full directory round.
+	dirDone := t + s.cfg.DirLatency
+
+	// (a) Our own or a remote SDC holds it.
+	if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers != 0 {
+		ready := c.serveFromSDCs(blk, addr, size, write, sharers, dirDone)
+		if m := c.sdc.MSHR(); m != nil {
+			m.Complete(blk, ready)
+		}
+		src := mem.ServedRemote
+		if sharers == 1<<c.id {
+			src = mem.ServedSDC
+		}
+		return mem.Response{Ready: ready, Source: src}
+	}
+
+	// (b) A private cache or the LLC holds it.
+	if ready, found, src := c.serveFromHierarchy(blk, addr, size, write, dirDone); found {
+		c.fillSDC(blk, addr, size, write, ready)
+		if m := c.sdc.MSHR(); m != nil {
+			m.Complete(blk, ready)
+		}
+		return mem.Response{Ready: ready, Source: src}
+	}
+
+	// (c) DRAM, bypassing L2 and LLC. The row access was launched in
+	// parallel with the directory check.
+	dramDone := s.dram.Access(blk, false, t)
+	ready := max64(dramDone, dirDone)
+	c.fillSDC(blk, addr, size, write, ready)
+	if m := c.sdc.MSHR(); m != nil {
+		m.Complete(blk, ready)
+	}
+
+	// Next-line prefetch into the SDC (Table I), only for blocks nobody
+	// else holds, to keep coherence simple. Prefetches launch at the
+	// demand's issue point, not its completion, so they never reserve
+	// bank/bus time in the future of younger demand requests.
+	c.pfBuf = c.sdcpf.OnAccess(blk, false, c.pfBuf[:0])
+	for _, cand := range c.pfBuf {
+		c.sdcPrefetch(cand, t)
+	}
+
+	return mem.Response{Ready: ready, Source: mem.ServedDRAM}
+}
+
+// serveFromSDCs handles an SDC miss that hits in the SDCDir: the block
+// lives in one or more SDCs (possibly our own — e.g. a WOC-less alias —
+// but normally a remote core's).
+func (c *coreCtx) serveFromSDCs(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, sharers uint64, t int64) int64 {
+	s := c.sys
+	ready := t
+	if write {
+		// Invalidate every copy; dirty data goes back to DRAM, then we
+		// own the line Modified.
+		for i := range s.cores {
+			if sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
+				continue
+			}
+			if present, dirty := s.cores[i].sdc.Invalidate(blk); present && dirty {
+				s.dram.Access(blk, true, t)
+			}
+		}
+		s.sdcDir.InvalidateAll(blk)
+		c.fillSDC(blk, addr, size, true, ready)
+		return ready
+	}
+	// Read: a cache-to-cache transfer; join the sharers.
+	remote := sharers&^(1<<c.id) != 0
+	if remote {
+		ready += s.cfg.DirLatency / 2 // transfer hop
+	}
+	c.fillSDC(blk, addr, size, false, ready)
+	return ready
+}
+
+// serveFromHierarchy probes the caller's and remote cores' private
+// caches plus the shared LLC (the idealized full-map directory). On a
+// hit the block is served and, for writes, all hierarchy copies are
+// invalidated (dirty ones written back) per Section III-C.
+func (c *coreCtx) serveFromHierarchy(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, t int64) (ready int64, found bool, src mem.ServedBy) {
+	s := c.sys
+	type loc struct {
+		inval func() (bool, bool)
+		lat   int64
+		src   mem.ServedBy
+	}
+	var hit *loc
+	// Own private caches first (closest): these are found by the local
+	// probe on the way to the directory and serve at their own
+	// latencies (negative lat relative to the directory round).
+	if p, _ := c.l1d.ProbeDirty(blk); p {
+		hit = &loc{inval: func() (bool, bool) { return c.l1d.Invalidate(blk) }, lat: c.l1d.Latency() - s.cfg.DirLatency, src: mem.ServedL1D}
+	} else if p, _ := c.l2.ProbeDirty(blk); p {
+		hit = &loc{inval: func() (bool, bool) { return c.l2.Invalidate(blk) }, lat: c.l2.Latency() - s.cfg.DirLatency, src: mem.ServedL2}
+	} else if p, _ := s.llc.ProbeDirty(blk); p {
+		hit = &loc{inval: func() (bool, bool) { return s.llc.Invalidate(blk) }, lat: 0, src: mem.ServedLLC}
+	} else {
+		for i := range s.cores {
+			if i == c.id {
+				continue
+			}
+			rc := s.cores[i]
+			if p, _ := rc.l1d.ProbeDirty(blk); p {
+				hit = &loc{inval: func() (bool, bool) { return rc.l1d.Invalidate(blk) }, lat: s.cfg.DirLatency / 2, src: mem.ServedRemote}
+				break
+			}
+			if p, _ := rc.l2.ProbeDirty(blk); p {
+				hit = &loc{inval: func() (bool, bool) { return rc.l2.Invalidate(blk) }, lat: s.cfg.DirLatency / 2, src: mem.ServedRemote}
+				break
+			}
+		}
+	}
+	if hit == nil {
+		return 0, false, mem.ServedNone
+	}
+	ready = t + hit.lat
+	if write {
+		// Exclusive ownership for the SDC: purge the hierarchy.
+		if _, dirty := hit.inval(); dirty {
+			s.dram.Access(blk, true, ready)
+		}
+	}
+	return ready, true, hit.src
+}
+
+// fillSDC inserts a block into the SDC, handling victim write-back and
+// SDCDir bookkeeping.
+func (c *coreCtx) fillSDC(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, ready int64) {
+	s := c.sys
+	v := c.sdc.Fill(blk, addr, size, write, false, ready)
+	if v.Valid {
+		s.sdcDir.RemoveSharer(v.Blk, c.id)
+		if v.Dirty {
+			s.dram.Access(v.Blk, true, ready)
+		}
+	}
+	s.sdcDir.AddSharer(blk, c.id, write)
+}
+
+// sdcPrefetch fetches a next-line candidate into the SDC from DRAM.
+func (c *coreCtx) sdcPrefetch(blk mem.BlockAddr, now int64) {
+	s := c.sys
+	if c.sdc.Probe(blk) {
+		return
+	}
+	if m := c.sdc.MSHR(); m != nil {
+		if _, inflight := m.Lookup(blk, now); inflight {
+			return
+		}
+		if m.Outstanding(now) >= m.Capacity() {
+			return // never stall for a prefetch
+		}
+		m.Allocate(blk, now)
+		defer m.Complete(blk, now)
+	}
+	// Skip candidates other agents hold; a real design would take the
+	// coherent path, but dropping the prefetch is always safe.
+	if _, _, held := s.sdcDir.Lookup(blk); held {
+		return
+	}
+	if c.anyCacheHolds(blk) {
+		return
+	}
+	done := s.dram.Access(blk, false, now)
+	c.fillSDC(blk, blk.Addr(), mem.BlockSize, false, done)
+	c.sdc.MarkPrefetchFill()
+	if m := c.sdc.MSHR(); m != nil {
+		m.Complete(blk, done)
+	}
+}
+
+func (c *coreCtx) anyCacheHolds(blk mem.BlockAddr) bool {
+	s := c.sys
+	if s.llc.Probe(blk) {
+		return true
+	}
+	for _, rc := range s.cores {
+		if rc.l1d.Probe(blk) || rc.l2.Probe(blk) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- conventional hierarchy path ---
+
+func (c *coreCtx) l1Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
+	s := c.sys
+	res := c.l1d.Lookup(blk, addr, size, write, false, issue)
+	if res.Hit {
+		return mem.Response{Ready: res.ReadyAt, Source: mem.ServedL1D}
+	}
+	t := res.ReadyAt
+
+	// Victim cache: L1D conflict victims are one cycle away and swap
+	// back in on a hit (Jouppi).
+	if c.victim != nil {
+		if vres := c.victim.Lookup(blk, addr, size, write, false, t); vres.Hit {
+			_, dirty := c.victim.Invalidate(blk)
+			c.fillL1(blk, addr, size, write || dirty, vres.ReadyAt)
+			return mem.Response{Ready: vres.ReadyAt, Source: mem.ServedL1D}
+		}
+	}
+
+	// The SDC may hold the block (friendly access to data previously
+	// classified averse): the SDCDir transfers it over.
+	if s.sdcDir != nil {
+		if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers&(1<<c.id) != 0 {
+			ready := t + s.sdcDir.Latency() + c.sdc.Latency()
+			_, dirty := c.sdc.Invalidate(blk)
+			s.sdcDir.RemoveSharer(blk, c.id)
+			c.fillL1(blk, addr, size, write || dirty, ready)
+			return mem.Response{Ready: ready, Source: mem.ServedSDC}
+		}
+	}
+
+	if m := c.l1d.MSHR(); m != nil {
+		if ready, inflight := m.Lookup(blk, t); inflight {
+			c.l1d.Stats.MergedMSHR++
+			return mem.Response{Ready: max64(ready, t), Source: mem.ServedL2}
+		}
+		t = m.Allocate(blk, t)
+	}
+
+	resp := c.l2Access(blk, addr, size, write, false, t)
+	c.fillL1(blk, addr, size, write, resp.Ready)
+	if m := c.l1d.MSHR(); m != nil {
+		m.Complete(blk, resp.Ready)
+	}
+
+	// Next-line prefetcher (Table I: attached to the L1D), degree 1,
+	// triggered on demand misses; the prefetch walks the hierarchy
+	// without stalling the core.
+	c.pfBuf = c.l1pf.OnAccess(blk, false, c.pfBuf[:0])
+	for _, cand := range c.pfBuf {
+		c.l1Prefetch(cand, t)
+	}
+	return resp
+}
+
+// fillL1 inserts into the L1D, cascading victims into the victim cache
+// (when configured) and dirty data down the hierarchy.
+func (c *coreCtx) fillL1(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, ready int64) {
+	v := c.l1d.Fill(blk, addr, size, write, false, ready)
+	if !v.Valid {
+		return
+	}
+	if c.victim != nil {
+		vv := c.victim.Fill(v.Blk, v.Blk.Addr(), mem.BlockSize, v.Dirty, false, ready)
+		if vv.Valid && vv.Dirty {
+			c.writebackToL2(vv.Blk, ready)
+		}
+		return
+	}
+	if v.Dirty {
+		c.writebackToL2(v.Blk, ready)
+	}
+}
+
+// writebackToL2 installs a dirty L1 victim in the L2 (allocate-on-
+// write-back), cascading further victims.
+func (c *coreCtx) writebackToL2(blk mem.BlockAddr, now int64) {
+	v := c.l2.Fill(blk, blk.Addr(), mem.BlockSize, true, false, now)
+	c.l2.Stats.Writebacks++
+	if v.Valid && v.Dirty {
+		c.writebackToLLC(v.Blk, now)
+	}
+}
+
+func (c *coreCtx) writebackToLLC(blk mem.BlockAddr, now int64) {
+	s := c.sys
+	v := s.llc.Fill(blk, blk.Addr(), mem.BlockSize, true, false, now)
+	s.llc.Stats.Writebacks++
+	if v.Valid && v.Dirty {
+		s.dram.Access(v.Blk, true, now)
+	}
+}
+
+func (c *coreCtx) l2Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write, pf bool, issue int64) mem.Response {
+	res := c.l2.Lookup(blk, addr, size, false, pf, issue)
+
+	// SPP trains on every L2 demand access and issues lookahead
+	// prefetches into the L2 (prefetch traffic does not re-train it).
+	var cands []mem.BlockAddr
+	if !pf && !c.noSPP {
+		c.pfBuf = c.l2pf.OnAccess(blk, res.Hit, c.pfBuf[:0])
+		cands = append(cands, c.pfBuf...)
+	}
+
+	var resp mem.Response
+	if res.Hit {
+		resp = mem.Response{Ready: res.ReadyAt, Source: mem.ServedL2}
+	} else {
+		t := res.ReadyAt
+		if m := c.l2.MSHR(); m != nil {
+			if ready, inflight := m.Lookup(blk, t); inflight {
+				c.l2.Stats.MergedMSHR++
+				resp = mem.Response{Ready: max64(ready, t), Source: mem.ServedLLC}
+				return resp
+			}
+			t = m.Allocate(blk, t)
+		}
+		resp = c.llcAccess(blk, addr, size, write, pf, t)
+		v := c.l2.Fill(blk, addr, size, false, false, resp.Ready)
+		if v.Valid && v.Dirty {
+			c.writebackToLLC(v.Blk, resp.Ready)
+		}
+		if m := c.l2.MSHR(); m != nil {
+			m.Complete(blk, resp.Ready)
+		}
+	}
+
+	// Prefetches launch at the demand's L2-lookup point, never at its
+	// completion time (see sdcAccess for why).
+	for _, cand := range cands {
+		c.l2Prefetch(cand, res.ReadyAt)
+	}
+	return resp
+}
+
+// l2Prefetch fetches an SPP candidate into the L2 via the LLC path.
+func (c *coreCtx) l2Prefetch(blk mem.BlockAddr, now int64) {
+	if c.l2.Probe(blk) {
+		return
+	}
+	if m := c.l2.MSHR(); m != nil {
+		if _, inflight := m.Lookup(blk, now); inflight {
+			return
+		}
+		if m.Outstanding(now) >= m.Capacity() {
+			return
+		}
+		m.Allocate(blk, now)
+	}
+	resp := c.llcAccess(blk, blk.Addr(), mem.BlockSize, false, true, now)
+	v := c.l2.Fill(blk, blk.Addr(), mem.BlockSize, false, true, resp.Ready)
+	c.l2.MarkPrefetchFill()
+	if v.Valid && v.Dirty {
+		c.writebackToLLC(v.Blk, resp.Ready)
+	}
+	if m := c.l2.MSHR(); m != nil {
+		m.Complete(blk, resp.Ready)
+	}
+}
+
+// l1Prefetch fetches a next-line candidate into the L1D via L2.
+func (c *coreCtx) l1Prefetch(blk mem.BlockAddr, now int64) {
+	if c.l1d.Probe(blk) {
+		return
+	}
+	if m := c.l1d.MSHR(); m != nil {
+		if _, inflight := m.Lookup(blk, now); inflight {
+			return
+		}
+		if m.Outstanding(now) >= m.Capacity() {
+			return
+		}
+		m.Allocate(blk, now)
+	}
+	resp := c.l2Access(blk, blk.Addr(), mem.BlockSize, false, true, now)
+	v := c.l1d.Fill(blk, blk.Addr(), mem.BlockSize, false, true, resp.Ready)
+	c.l1d.MarkPrefetchFill()
+	if v.Valid && v.Dirty {
+		c.writebackToL2(v.Blk, resp.Ready)
+	}
+	if m := c.l1d.MSHR(); m != nil {
+		m.Complete(blk, resp.Ready)
+	}
+}
+
+func (c *coreCtx) llcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write, pf bool, issue int64) mem.Response {
+	s := c.sys
+	res := s.llc.Lookup(blk, addr, size, false, pf, issue)
+	if res.Hit {
+		return mem.Response{Ready: res.ReadyAt, Source: mem.ServedLLC}
+	}
+	t := res.ReadyAt
+	if m := s.llc.MSHR(); m != nil {
+		if ready, inflight := m.Lookup(blk, t); inflight {
+			s.llc.Stats.MergedMSHR++
+			return mem.Response{Ready: max64(ready, t), Source: mem.ServedDRAM}
+		}
+		t = m.Allocate(blk, t)
+	}
+
+	// Directory: a remote private cache or any SDC may hold the block.
+	ready := int64(0)
+	src := mem.ServedDRAM
+	if s.sdcDir != nil {
+		if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers != 0 {
+			// Transfer from an SDC; invalidate the copies so the
+			// hierarchy becomes the owner.
+			for i := range s.cores {
+				if sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
+					continue
+				}
+				if present, dirty := s.cores[i].sdc.Invalidate(blk); present && dirty {
+					s.dram.Access(blk, true, t)
+				}
+			}
+			s.sdcDir.InvalidateAll(blk)
+			ready = t + s.sdcDir.Latency() + s.cfg.DirLatency/8
+			src = mem.ServedSDC
+		}
+	}
+	if src == mem.ServedDRAM {
+		for i := range s.cores {
+			rc := s.cores[i]
+			if rc.id == c.id {
+				continue
+			}
+			if rc.l1d.Probe(blk) || rc.l2.Probe(blk) {
+				ready = t + s.cfg.DirLatency/2
+				src = mem.ServedRemote
+				break
+			}
+		}
+	}
+	if src == mem.ServedDRAM {
+		ready = s.dram.Access(blk, false, t)
+	}
+
+	v := s.llc.Fill(blk, addr, size, false, false, ready)
+	if v.Valid && v.Dirty {
+		s.dram.Access(v.Blk, true, ready)
+	}
+	if m := s.llc.MSHR(); m != nil {
+		m.Complete(blk, ready)
+	}
+	return mem.Response{Ready: ready, Source: src}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

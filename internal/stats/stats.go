@@ -1,0 +1,194 @@
+// Package stats collects the counters and aggregate metrics the
+// evaluation reports: per-cache hit/miss ladders, MPKI, IPC, geometric
+// means and the weighted speed-up metric used for multi-core mixes.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// CacheStats counts the accesses observed by one cache structure during
+// the measurement window.
+type CacheStats struct {
+	Hits       int64
+	Misses     int64
+	Prefetches int64 // prefetch fills issued by this level's prefetcher
+	PFHits     int64 // prefetch lookups that found the block resident
+	PFMisses   int64 // prefetch lookups that missed (kept out of MPKI)
+	Writebacks int64 // dirty evictions sent downstream
+	Evictions  int64 // total evictions of valid lines
+	MergedMSHR int64 // demand requests merged into an in-flight miss
+}
+
+// Accesses returns demand accesses (hits + misses).
+func (c *CacheStats) Accesses() int64 { return c.Hits + c.Misses }
+
+// MissRate returns misses / accesses, or 0 for an idle cache.
+func (c *CacheStats) MissRate() float64 {
+	a := c.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(a)
+}
+
+// MPKI returns misses per kilo-instruction for the given retired
+// instruction count.
+func (c *CacheStats) MPKI(instructions int64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(c.Misses) * 1000 / float64(instructions)
+}
+
+// Add accumulates other into c.
+func (c *CacheStats) Add(other *CacheStats) {
+	c.Hits += other.Hits
+	c.Misses += other.Misses
+	c.Prefetches += other.Prefetches
+	c.PFHits += other.PFHits
+	c.PFMisses += other.PFMisses
+	c.Writebacks += other.Writebacks
+	c.Evictions += other.Evictions
+	c.MergedMSHR += other.MergedMSHR
+}
+
+// CoreStats aggregates one core's execution over the measurement window.
+type CoreStats struct {
+	Cycles       int64
+	Instructions int64 // retired instructions (memory + non-memory)
+	MemOps       int64 // retired memory instructions
+	Loads        int64
+	Stores       int64
+
+	L1D  CacheStats
+	SDC  CacheStats
+	L2   CacheStats
+	LLC  CacheStats
+	DTLB CacheStats
+	STLB CacheStats
+
+	// ServedBy histograms where demand loads were ultimately served.
+	ServedL1D    int64
+	ServedSDC    int64
+	ServedL2     int64
+	ServedLLC    int64
+	ServedRemote int64
+	ServedDRAM   int64
+
+	// LP predictor outcome counters.
+	LPPredAverse   int64 // accesses routed to the SDC
+	LPPredFriendly int64 // accesses routed to the L1D path
+	LPTableMisses  int64
+
+	// Directory / coherence traffic.
+	DirLookups      int64
+	DirInvals       int64
+	SDCDirLookups   int64
+	SDCDirEvictions int64
+
+	// DRAM behaviour attributable to this core.
+	DRAMReads     int64
+	DRAMWrites    int64
+	DRAMRowHits   int64
+	DRAMRowMisses int64
+
+	// TotalLoadLatency accumulates the latency of every retired demand
+	// load, for average-load-latency reporting.
+	TotalLoadLatency int64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *CoreStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// AvgLoadLatency returns the mean retired-load latency in cycles.
+func (s *CoreStats) AvgLoadLatency() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.TotalLoadLatency) / float64(s.Loads)
+}
+
+// L1DemandMPKI returns the combined L1D+SDC MPKI (Fig. 9 reports the
+// accumulated first-level MPKI for the SDC+LP design).
+func (s *CoreStats) L1DemandMPKI() float64 {
+	return s.L1D.MPKI(s.Instructions) + s.SDC.MPKI(s.Instructions)
+}
+
+// String summarizes the core stats on one line.
+func (s *CoreStats) String() string {
+	return fmt.Sprintf("cycles=%d instr=%d IPC=%.3f L1D-MPKI=%.1f SDC-MPKI=%.1f L2-MPKI=%.1f LLC-MPKI=%.1f",
+		s.Cycles, s.Instructions, s.IPC(),
+		s.L1D.MPKI(s.Instructions), s.SDC.MPKI(s.Instructions),
+		s.L2.MPKI(s.Instructions), s.LLC.MPKI(s.Instructions))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// it returns 0 for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// GeoMeanSpeedup converts a slice of speed-up ratios (1.0 = parity) into
+// the percentage improvement the paper quotes (e.g. 1.203 -> 20.3).
+func GeoMeanSpeedup(ratios []float64) float64 {
+	return (GeoMean(ratios) - 1) * 100
+}
+
+// WeightedSpeedup implements the multi-core metric of Section IV-D: the
+// sum over threads of IPC_shared/IPC_single, normalized by the same sum
+// for the baseline design.
+func WeightedSpeedup(ipcShared, ipcSingle, baseShared []float64) float64 {
+	if len(ipcShared) != len(ipcSingle) || len(ipcShared) != len(baseShared) {
+		panic("stats: WeightedSpeedup slice length mismatch")
+	}
+	var ws, base float64
+	for i := range ipcShared {
+		if ipcSingle[i] <= 0 {
+			panic("stats: non-positive single-thread IPC")
+		}
+		ws += ipcShared[i] / ipcSingle[i]
+		base += baseShared[i] / ipcSingle[i]
+	}
+	if base == 0 {
+		return 0
+	}
+	return ws / base
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation. xs must be sorted ascending and non-empty.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestCacheStatsBasics(t *testing.T) {
+	c := CacheStats{Hits: 900, Misses: 100}
+	if c.Accesses() != 1000 {
+		t.Errorf("Accesses = %d", c.Accesses())
+	}
+	if !almostEqual(c.MissRate(), 0.1) {
+		t.Errorf("MissRate = %g", c.MissRate())
+	}
+	if !almostEqual(c.MPKI(10000), 10) {
+		t.Errorf("MPKI = %g", c.MPKI(10000))
+	}
+	var empty CacheStats
+	if empty.MissRate() != 0 || empty.MPKI(0) != 0 {
+		t.Error("empty cache stats should be all-zero rates")
+	}
+}
+
+func TestCacheStatsAdd(t *testing.T) {
+	a := CacheStats{Hits: 1, Misses: 2, Prefetches: 3, Writebacks: 4, Evictions: 5, MergedMSHR: 6}
+	b := a
+	a.Add(&b)
+	if a.Hits != 2 || a.Misses != 4 || a.Prefetches != 6 || a.Writebacks != 8 || a.Evictions != 10 || a.MergedMSHR != 12 {
+		t.Errorf("Add gave %+v", a)
+	}
+}
+
+func TestCoreStatsIPC(t *testing.T) {
+	s := CoreStats{Cycles: 1000, Instructions: 500}
+	if !almostEqual(s.IPC(), 0.5) {
+		t.Errorf("IPC = %g", s.IPC())
+	}
+	var zero CoreStats
+	if zero.IPC() != 0 {
+		t.Error("zero-cycle IPC should be 0")
+	}
+}
+
+func TestCoreStatsAvgLoadLatency(t *testing.T) {
+	s := CoreStats{Loads: 4, TotalLoadLatency: 100}
+	if !almostEqual(s.AvgLoadLatency(), 25) {
+		t.Errorf("AvgLoadLatency = %g", s.AvgLoadLatency())
+	}
+}
+
+func TestL1DemandMPKI(t *testing.T) {
+	s := CoreStats{Instructions: 1000}
+	s.L1D.Misses = 5
+	s.SDC.Misses = 7
+	if !almostEqual(s.L1DemandMPKI(), 12) {
+		t.Errorf("L1DemandMPKI = %g", s.L1DemandMPKI())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almostEqual(GeoMean([]float64{2, 8}), 4) {
+		t.Errorf("GeoMean(2,8) = %g", GeoMean([]float64{2, 8}))
+	}
+	if !almostEqual(GeoMean([]float64{5}), 5) {
+		t.Errorf("GeoMean(5) = %g", GeoMean([]float64{5}))
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive input")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	got := GeoMeanSpeedup([]float64{1.2, 1.2})
+	if !almostEqual(got, 20) {
+		t.Errorf("GeoMeanSpeedup = %g, want 20", got)
+	}
+}
+
+func TestGeoMeanProperties(t *testing.T) {
+	// Geomean lies between min and max and is scale-equivariant.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)/100 + 0.01
+			mn = math.Min(mn, xs[i])
+			mx = math.Max(mx, xs[i])
+		}
+		g := GeoMean(xs)
+		if g < mn-1e-9 || g > mx+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 3
+		}
+		return almostEqual(GeoMean(scaled), 3*g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	// Two threads, both twice as fast as baseline in the shared run.
+	shared := []float64{2, 2}
+	single := []float64{2, 4}
+	base := []float64{1, 1}
+	got := WeightedSpeedup(shared, single, base)
+	// ws = 2/2 + 2/4 = 1.5 ; base = 1/2 + 1/4 = 0.75 ; ratio 2.
+	if !almostEqual(got, 2) {
+		t.Errorf("WeightedSpeedup = %g, want 2", got)
+	}
+}
+
+func TestWeightedSpeedupIdentity(t *testing.T) {
+	// A design identical to baseline has weighted speed-up 1 regardless
+	// of per-thread IPCs.
+	f := func(a, b uint8) bool {
+		sh := []float64{float64(a)/10 + 0.1, float64(b)/10 + 0.1}
+		single := []float64{1, 2}
+		return almostEqual(WeightedSpeedup(sh, single, sh), 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSpeedupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2}, []float64{1, 2})
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almostEqual(Percentile(xs, 0), 1) || !almostEqual(Percentile(xs, 100), 5) {
+		t.Error("extreme percentiles wrong")
+	}
+	if !almostEqual(Percentile(xs, 50), 3) {
+		t.Errorf("median = %g", Percentile(xs, 50))
+	}
+	if !almostEqual(Percentile(xs, 25), 2) {
+		t.Errorf("p25 = %g", Percentile(xs, 25))
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		sort.Float64s(xs)
+		p := float64(pRaw % 101)
+		q := math.Min(p+10, 100)
+		return Percentile(xs, p) <= Percentile(xs, q)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package tlb models the translation path of Table I: a 64-entry 4-way
+// L1 DTLB (1-cycle), a 1536-entry 12-way L2 TLB (8-cycle), and a page
+// walker. The walker models page-walk-cache hits for the upper levels of
+// the radix tree (a fixed overhead) plus a real memory access for the
+// leaf PTE, issued into the cache hierarchy through a callback.
+//
+// Translation proceeds in parallel with the L1D/SDC lookup (both the
+// L1D and the SDC are VIPT, Section III-E), so only TLB misses add
+// latency to a memory access: the simulator takes the max of the data
+// path and translation path ready times.
+package tlb
+
+import (
+	"graphmem/internal/mem"
+	"graphmem/internal/stats"
+)
+
+// Config describes one TLB level.
+type Config struct {
+	Name    string
+	Entries int
+	Ways    int
+	Latency int64
+}
+
+type entry struct {
+	page  mem.PageAddr
+	valid bool
+	lru   int64
+}
+
+// TLB is a set-associative translation buffer with LRU replacement.
+type TLB struct {
+	cfg     Config
+	sets    [][]entry
+	setMask uint64
+	clock   int64
+	Stats   stats.CacheStats
+}
+
+// New builds a TLB from cfg.
+func New(cfg Config) *TLB {
+	nsets := cfg.Entries / cfg.Ways
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic("tlb: set count must be a positive power of two")
+	}
+	t := &TLB{cfg: cfg, sets: make([][]entry, nsets), setMask: uint64(nsets - 1)}
+	for i := range t.sets {
+		t.sets[i] = make([]entry, cfg.Ways)
+	}
+	return t
+}
+
+// Latency returns the lookup latency in cycles.
+func (t *TLB) Latency() int64 { return t.cfg.Latency }
+
+// Lookup probes for page's translation, updating recency and stats.
+func (t *TLB) Lookup(page mem.PageAddr) bool {
+	set := t.sets[uint64(page)&t.setMask]
+	for w := range set {
+		if set[w].valid && set[w].page == page {
+			t.clock++
+			set[w].lru = t.clock
+			t.Stats.Hits++
+			return true
+		}
+	}
+	t.Stats.Misses++
+	return false
+}
+
+// Fill inserts page's translation, evicting LRU.
+func (t *TLB) Fill(page mem.PageAddr) {
+	set := t.sets[uint64(page)&t.setMask]
+	way, best := 0, int64(1<<63-1)
+	for w := range set {
+		if !set[w].valid {
+			way = w
+			break
+		}
+		if set[w].lru < best {
+			best = set[w].lru
+			way = w
+		}
+	}
+	t.clock++
+	if set[way].valid {
+		t.Stats.Evictions++
+	}
+	set[way] = entry{page: page, valid: true, lru: t.clock}
+}
+
+// WalkFunc issues the leaf-PTE read at addr into the memory hierarchy at
+// CPU cycle now and returns its completion time.
+type WalkFunc func(addr mem.Addr, now int64) int64
+
+// Hierarchy is the two-level TLB plus walker for one core.
+type Hierarchy struct {
+	DTLB *TLB
+	STLB *TLB
+	// PTBase is the synthetic page-table region base; leaf PTEs live at
+	// PTBase + page*8 so walker traffic has realistic locality (512
+	// translations per PTE cache line... per page of PTEs).
+	PTBase mem.Addr
+	// WalkOverhead models page-walk-cache hits for the upper radix
+	// levels, in cycles.
+	WalkOverhead int64
+	// Walk performs the leaf PTE memory access.
+	Walk WalkFunc
+	// Walks counts completed page walks.
+	Walks int64
+}
+
+// DefaultHierarchy builds the Table I translation path for one core.
+func DefaultHierarchy(ptBase mem.Addr, walk WalkFunc) *Hierarchy {
+	return &Hierarchy{
+		DTLB:         New(Config{Name: "DTLB", Entries: 64, Ways: 4, Latency: 1}),
+		STLB:         New(Config{Name: "STLB", Entries: 1536, Ways: 12, Latency: 8}),
+		PTBase:       ptBase,
+		WalkOverhead: 4,
+		Walk:         walk,
+	}
+}
+
+// Translate returns the cycle at which the translation of page is
+// available, starting the lookup at now, and fills the TLBs on the way
+// back.
+func (h *Hierarchy) Translate(page mem.PageAddr, now int64) int64 {
+	t := now + h.DTLB.Latency()
+	if h.DTLB.Lookup(page) {
+		return t
+	}
+	t += h.STLB.Latency()
+	if h.STLB.Lookup(page) {
+		h.DTLB.Fill(page)
+		return t
+	}
+	// Page walk: fixed upper-level overhead plus a leaf PTE access.
+	h.Walks++
+	t += h.WalkOverhead
+	pteAddr := h.PTBase + mem.Addr(uint64(page)*8)
+	t = h.Walk(pteAddr, t)
+	h.STLB.Fill(page)
+	h.DTLB.Fill(page)
+	return t
+}

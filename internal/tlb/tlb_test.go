@@ -1,0 +1,150 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphmem/internal/mem"
+)
+
+func small() *TLB {
+	return New(Config{Name: "T", Entries: 8, Ways: 2, Latency: 1})
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tl := small()
+	if tl.Lookup(5) {
+		t.Fatal("cold TLB hit")
+	}
+	tl.Fill(5)
+	if !tl.Lookup(5) {
+		t.Fatal("filled page missed")
+	}
+	if tl.Stats.Hits != 1 || tl.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", tl.Stats)
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	tl := small() // 4 sets, 2 ways
+	// Pages 0, 4, 8 share set 0.
+	tl.Fill(0)
+	tl.Fill(4)
+	tl.Lookup(0) // refresh 0
+	tl.Fill(8)   // evicts 4
+	if !tl.Lookup(0) || tl.Lookup(4) || !tl.Lookup(8) {
+		t.Error("LRU eviction picked the wrong victim")
+	}
+	if tl.Stats.Evictions != 1 {
+		t.Errorf("evictions = %d", tl.Stats.Evictions)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	f := func(pages []uint16) bool {
+		tl := small()
+		resident := 0
+		for _, p := range pages {
+			if !tl.Lookup(mem.PageAddr(p)) {
+				tl.Fill(mem.PageAddr(p))
+			}
+		}
+		// Count hits on a second pass without filling: at most Entries
+		// distinct pages can hit.
+		seen := map[mem.PageAddr]bool{}
+		for _, p := range pages {
+			pg := mem.PageAddr(p)
+			if !seen[pg] && tl.Lookup(pg) {
+				resident++
+			}
+			seen[pg] = true
+		}
+		return resident <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Name: "bad", Entries: 12, Ways: 4, Latency: 1})
+}
+
+func TestHierarchyDTLBHitFast(t *testing.T) {
+	walks := 0
+	h := DefaultHierarchy(0x7000000, func(addr mem.Addr, now int64) int64 {
+		walks++
+		return now + 100
+	})
+	// First access walks.
+	t0 := h.Translate(42, 0)
+	if walks != 1 {
+		t.Fatalf("walks = %d", walks)
+	}
+	// DTLB latency 1 + STLB 8 + overhead 4 + walk 100 = 113.
+	if t0 != 113 {
+		t.Errorf("walk translate ready at %d, want 113", t0)
+	}
+	// Second access hits the DTLB: 1 cycle.
+	t1 := h.Translate(42, 200)
+	if t1 != 201 || walks != 1 {
+		t.Errorf("DTLB hit ready at %d (walks %d)", t1, walks)
+	}
+}
+
+func TestHierarchySTLBBackstop(t *testing.T) {
+	h := DefaultHierarchy(0x7000000, func(addr mem.Addr, now int64) int64 { return now + 100 })
+	// Fill more pages than the DTLB holds (64) but fewer than the STLB
+	// (1536): re-touching them must hit the STLB, not walk again.
+	for p := 0; p < 128; p++ {
+		h.Translate(mem.PageAddr(p), int64(p*1000))
+	}
+	walksBefore := h.Walks
+	ready := h.Translate(0, 1_000_000)
+	if h.Walks != walksBefore {
+		t.Error("STLB-resident page triggered a walk")
+	}
+	if got := ready - 1_000_000; got != 9 {
+		t.Errorf("STLB hit latency = %d, want 9 (1+8)", got)
+	}
+}
+
+func TestWalkerAddressesAreDistinctPerPage(t *testing.T) {
+	var addrs []mem.Addr
+	h := DefaultHierarchy(0x7000000, func(addr mem.Addr, now int64) int64 {
+		addrs = append(addrs, addr)
+		return now + 10
+	})
+	h.Translate(1, 0)
+	h.Translate(2, 0)
+	if len(addrs) != 2 || addrs[0] == addrs[1] {
+		t.Errorf("walker addresses = %v", addrs)
+	}
+	if addrs[0] != 0x7000000+8 || addrs[1] != 0x7000000+16 {
+		t.Errorf("PTE addresses = %v", addrs)
+	}
+}
+
+func TestAdjacentPagesSharePTELine(t *testing.T) {
+	// 8 consecutive pages' PTEs fall in one cache block: the walker
+	// address stream must reflect that locality.
+	var addrs []mem.Addr
+	h := DefaultHierarchy(0, func(addr mem.Addr, now int64) int64 {
+		addrs = append(addrs, addr)
+		return now + 10
+	})
+	for p := 0; p < 8; p++ {
+		h.Translate(mem.PageAddr(p), 0)
+	}
+	first := addrs[0].Block()
+	for _, a := range addrs {
+		if a.Block() != first {
+			t.Errorf("PTE for %v in different block", a)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"graphmem/internal/mem"
+)
+
+// Binary trace file format (cmd/gmtrace): a magic header followed by
+// fixed-size little-endian records. The format exists so traces can be
+// captured once and inspected or replayed offline.
+
+var fileMagic = [8]byte{'G', 'M', 'T', 'R', 'C', '0', '0', '1'}
+
+const recordBytes = 8 + 8 + 1 + 1 + 2 + 4 // PC, Addr, Size, Write, NonMem, DepDist
+
+// Writer is a Sink that streams records to an io.Writer in the binary
+// trace format. Close (or Flush) must be called to drain buffers.
+type Writer struct {
+	w     *bufio.Writer
+	limit int64
+	n     int64
+	err   error
+}
+
+// NewWriter writes a trace header to w and returns the streaming sink.
+// limit, when positive, stops the trace after that many records.
+func NewWriter(w io.Writer, limit int64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, limit: limit}, nil
+}
+
+// Access implements Sink.
+func (t *Writer) Access(r Record) bool {
+	if t.err != nil {
+		return false
+	}
+	var buf [recordBytes]byte
+	binary.LittleEndian.PutUint64(buf[0:], r.PC)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(r.Addr))
+	buf[16] = r.Size
+	if r.Write {
+		buf[17] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[18:], r.NonMem)
+	binary.LittleEndian.PutUint32(buf[20:], uint32(r.DepDist))
+	if _, err := t.w.Write(buf[:]); err != nil {
+		t.err = err
+		return false
+	}
+	t.n++
+	return t.limit <= 0 || t.n < t.limit
+}
+
+// Count returns the number of records written so far.
+func (t *Writer) Count() int64 { return t.n }
+
+// Flush drains buffered records and returns the first write error.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader iterates a binary trace previously produced by Writer.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header of r and returns the record iterator.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, errors.New("trace: bad magic, not a gmtrace file")
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF at end of trace.
+func (t *Reader) Next() (Record, error) {
+	var buf [recordBytes]byte
+	if _, err := io.ReadFull(t.r, buf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Record{}, err
+	}
+	return Record{
+		PC:      binary.LittleEndian.Uint64(buf[0:]),
+		Addr:    mem.Addr(binary.LittleEndian.Uint64(buf[8:])),
+		Size:    buf[16],
+		Write:   buf[17] != 0,
+		NonMem:  binary.LittleEndian.Uint16(buf[18:]),
+		DepDist: int32(binary.LittleEndian.Uint32(buf[20:])),
+	}, nil
+}
+
+// ReadAll drains the reader into a slice.
+func (t *Reader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		r, err := t.Next()
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, r)
+	}
+}
+
+// Replay feeds every record of a captured trace into a sink, stopping
+// early if the sink asks to. It returns the number of records delivered.
+func Replay(recs []Record, sink Sink) int64 {
+	var n int64
+	for _, r := range recs {
+		n++
+		if !sink.Access(r) {
+			break
+		}
+	}
+	return n
+}

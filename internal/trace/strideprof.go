@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+
+	"graphmem/internal/mem"
+)
+
+// StrideBuckets is the number of stride intervals used by the DRAM
+// probability characterization (Fig. 3): {0}, {1}, (1,10], (10,1e2],
+// (1e2,1e3], (1e3,1e4], (1e4,1e5], (1e5,1e6], >1e6 — strides measured in
+// cache blocks between consecutive accesses by the same PC, matching the
+// LP's definition.
+const StrideBuckets = 9
+
+// BucketLabel returns the human-readable label of stride bucket i.
+func BucketLabel(i int) string {
+	switch i {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	case 2:
+		return "(1,1e1]"
+	case 8:
+		return ">1e6"
+	default:
+		return fmt.Sprintf("(1e%d,1e%d]", i-2, i-1)
+	}
+}
+
+// BucketOf classifies an absolute block stride into its Fig. 3 bucket.
+func BucketOf(stride uint64) int {
+	switch {
+	case stride == 0:
+		return 0
+	case stride == 1:
+		return 1
+	}
+	b := 2
+	limit := uint64(10)
+	for stride > limit && b < StrideBuckets-1 {
+		b++
+		limit *= 10
+	}
+	return b
+}
+
+// StrideDRAMProfiler reproduces the Fig. 3 characterization: for each
+// demand access it computes the block stride against the previous access
+// from the same PC and records whether the simulator served the access
+// from DRAM. The simulator feeds it through its access-observer hook.
+type StrideDRAMProfiler struct {
+	last     map[uint64]mem.BlockAddr
+	total    [StrideBuckets]int64
+	fromDRAM [StrideBuckets]int64
+}
+
+// NewStrideDRAMProfiler returns an empty profiler.
+func NewStrideDRAMProfiler() *StrideDRAMProfiler {
+	return &StrideDRAMProfiler{last: make(map[uint64]mem.BlockAddr)}
+}
+
+// Observe records one demand access and where it was served from.
+// Accesses with no prior same-PC access are ignored (no stride exists).
+func (p *StrideDRAMProfiler) Observe(pc uint64, blk mem.BlockAddr, served mem.ServedBy) {
+	prev, ok := p.last[pc]
+	p.last[pc] = blk
+	if !ok {
+		return
+	}
+	var stride uint64
+	if blk >= prev {
+		stride = uint64(blk - prev)
+	} else {
+		stride = uint64(prev - blk)
+	}
+	b := BucketOf(stride)
+	p.total[b]++
+	if served == mem.ServedDRAM {
+		p.fromDRAM[b]++
+	}
+}
+
+// Samples returns the number of accesses recorded in bucket i.
+func (p *StrideDRAMProfiler) Samples(i int) int64 { return p.total[i] }
+
+// DRAMProbability returns the fraction of bucket i's accesses that were
+// served by DRAM, or -1 when the bucket is empty.
+func (p *StrideDRAMProfiler) DRAMProbability(i int) float64 {
+	if p.total[i] == 0 {
+		return -1
+	}
+	return float64(p.fromDRAM[i]) / float64(p.total[i])
+}
