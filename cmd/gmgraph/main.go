@@ -27,7 +27,16 @@ func main() {
 	undirected := flag.Bool("undirected", false, "convert: symmetrize edges")
 	out := flag.String("out", "", "output .gmg file for -gen/-convert")
 	stats := flag.String("stats", "", "inspect: .gmg file to summarize")
+	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	fail(err)
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "gmgraph:", err)
+		}
+	}()
 
 	switch {
 	case *gen != "":

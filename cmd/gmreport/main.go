@@ -5,17 +5,22 @@
 //	gmreport -exp fig7 -profile bench
 //	gmreport -exp all -profile small > report.txt
 //	gmreport -exp fig2,fig3,tab4 -kernels pr,cc -graphs kron,urand
+//	gmreport -exp fig7,fig8 -profile bench -out report/
 //
 // Every experiment prints the same rows/series the paper's
 // corresponding artefact reports; EXPERIMENTS.md records a reference
-// run.
+// run. With -out, each experiment is additionally written as
+// <dir>/<id>.txt and <dir>/<id>.csv plus a sweep manifest.json
+// (schema, profile, machine config, experiment list, wall clock).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"graphmem"
 	"graphmem/internal/harness"
@@ -33,8 +38,21 @@ func main() {
 	kernelsFlag := flag.String("kernels", "", "restrict to these kernels (comma separated)")
 	graphsFlag := flag.String("graphs", "", "restrict to these graphs (comma separated)")
 	mixes := flag.Int("mixes", 0, "override the number of fig14 mixes")
+	outDir := flag.String("out", "", "also write each table as <dir>/<id>.txt and .csv plus a sweep manifest.json")
 	quiet := flag.Bool("q", false, "suppress progress logging")
+	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmreport:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "gmreport:", err)
+		}
+	}()
 
 	profile, err := graphmem.ProfileByName(*profileName)
 	if err != nil {
@@ -46,6 +64,9 @@ func main() {
 	}
 	wb := graphmem.NewWorkbench(profile)
 	if !*quiet {
+		// All progress (run/cached lines with done/total and ETA,
+		// narration) flows through the workbench's obs.Progress reporter;
+		// -q leaves the sink unset so the reporter counts silently.
 		wb.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}
 
@@ -57,8 +78,33 @@ func main() {
 	} else {
 		ids = strings.Split(*exp, ",")
 	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "gmreport:", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	var done []string
 	for _, id := range ids {
-		if err := run(wb, strings.TrimSpace(id), subset); err != nil {
+		id = strings.TrimSpace(id)
+		t, err := buildTable(wb, id, subset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmreport:", err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		if *outDir != "" {
+			if err := writeTableFiles(*outDir, t); err != nil {
+				fmt.Fprintln(os.Stderr, "gmreport:", err)
+				os.Exit(1)
+			}
+		}
+		done = append(done, id)
+	}
+	if *outDir != "" {
+		if err := writeSweepManifest(*outDir, wb, done, start); err != nil {
 			fmt.Fprintln(os.Stderr, "gmreport:", err)
 			os.Exit(1)
 		}
@@ -94,51 +140,88 @@ func subsetFromFlags(kernelsFlag, graphsFlag string) []graphmem.WorkloadID {
 	return out
 }
 
-func run(wb *harness.Workbench, id string, subset []graphmem.WorkloadID) error {
-	out := os.Stdout
+// buildTable runs one experiment and returns its renderable table.
+func buildTable(wb *harness.Workbench, id string, subset []graphmem.WorkloadID) (*graphmem.Table, error) {
 	switch id {
 	case "tab1":
-		wb.Tab1().Render(out)
+		return wb.Tab1(), nil
 	case "tab2":
-		wb.Tab2().Render(out)
+		return wb.Tab2(), nil
 	case "tab3":
-		wb.Tab3().Render(out)
+		return wb.Tab3(), nil
 	case "tab4":
-		wb.Tab4(1).Render(out)
+		return wb.Tab4(1), nil
 	case "fig2":
-		wb.Fig2(subset).Table().Render(out)
+		return wb.Fig2(subset).Table(), nil
 	case "fig3":
 		id := graphmem.WorkloadID{Kernel: "cc", Graph: "friendster"}
 		if subset != nil {
 			id = subset[0]
 		}
-		wb.Fig3(id).Table().Render(out)
+		return wb.Fig3(id).Table(), nil
 	case "fig7":
-		wb.Fig7(subset).Table().Render(out)
+		return wb.Fig7(subset).Table(), nil
 	case "fig8":
-		wb.Fig89(subset).Fig8Table().Render(out)
+		return wb.Fig89(subset).Fig8Table(), nil
 	case "fig9":
-		wb.Fig89(subset).Fig9Table().Render(out)
+		return wb.Fig89(subset).Fig9Table(), nil
 	case "fig10":
-		wb.Fig10(subset).Table().Render(out)
+		return wb.Fig10(subset).Table(), nil
 	case "fig11":
-		wb.Fig11(subset).Table().Render(out)
+		return wb.Fig11(subset).Table(), nil
 	case "fig12":
-		wb.Fig12(subset).Table().Render(out)
+		return wb.Fig12(subset).Table(), nil
 	case "tau":
-		wb.Tau(subset, nil).Table().Render(out)
+		return wb.Tau(subset, nil).Table(), nil
 	case "fig13":
-		wb.Fig13(subset).Table().Render(out)
+		return wb.Fig13(subset).Table(), nil
 	case "energy":
-		wb.Energy(subset).Table().Render(out)
+		return wb.Energy(subset).Table(), nil
 	case "fig14":
 		var mixes [][]graphmem.WorkloadID
 		if subset != nil {
 			mixes = graphmem.GenerateMixes(subset, wb.Profile.Mixes, 14)
 		}
-		wb.Fig14(mixes).Table().Render(out)
+		return wb.Fig14(mixes).Table(), nil
 	default:
-		return fmt.Errorf("unknown experiment %q", id)
+		return nil, fmt.Errorf("unknown experiment %q", id)
 	}
-	return nil
+}
+
+// writeTableFiles persists one table as <dir>/<id>.txt and .csv.
+func writeTableFiles(dir string, t *graphmem.Table) error {
+	txt, err := os.Create(filepath.Join(dir, t.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	t.Render(txt)
+	if err := txt.Close(); err != nil {
+		return err
+	}
+	csvf, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.RenderCSV(csvf); err != nil {
+		csvf.Close()
+		return err
+	}
+	return csvf.Close()
+}
+
+// writeSweepManifest records the sweep's provenance next to the tables.
+func writeSweepManifest(dir string, wb *harness.Workbench, experiments []string, start time.Time) error {
+	m := graphmem.NewManifest("gmreport")
+	m.Profile = wb.Profile.Name
+	m.Config = wb.BaseConfig().ManifestInfo()
+	m.Experiments = experiments
+	f, err := os.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	if err := m.Finalize(start).WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

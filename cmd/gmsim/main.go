@@ -6,6 +6,7 @@
 //
 //	gmsim -kernel pr -graph kron -config sdclp -profile bench
 //	gmsim -kernel cc -graph friendster -config baseline -measure 5000000
+//	gmsim -kernel pr -graph kron -config sdclp -json -epoch 100000 > run.json
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"graphmem"
 )
@@ -55,8 +57,22 @@ func main() {
 	profileName := flag.String("profile", "bench", "scale profile: bench|small|full")
 	warmup := flag.Int64("warmup", 0, "override warm-up instructions")
 	measure := flag.Int64("measure", 0, "override measured instructions")
+	epoch := flag.Int64("epoch", 0, "sample telemetry every N retired instructions (0 = off)")
+	jsonOut := flag.Bool("json", false, "emit a structured run manifest on stdout instead of text")
 	verbose := flag.Bool("v", false, "log run progress")
+	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "gmsim:", err)
+		}
+	}()
 
 	profile, err := graphmem.ProfileByName(*profileName)
 	if err != nil {
@@ -79,9 +95,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gmsim:", err)
 		os.Exit(1)
 	}
+	if *epoch > 0 {
+		cfg = cfg.WithEpochInterval(*epoch)
+	}
 	id := graphmem.WorkloadID{Kernel: *kernel, Graph: *graphName}
+	start := time.Now()
 	res := wb.RunSingle(cfg, id)
 	s := &res.Stats
+
+	if *jsonOut {
+		m := graphmem.NewManifest("gmsim")
+		m.Profile = profile.Name
+		m.Workload = id.String()
+		m.Config = cfg.WithWindows(profile.Warmup, profile.Measure).ManifestInfo()
+		m.Reruns = res.Reruns
+		m.Final = res.Stats
+		m.Derived = graphmem.DeriveMetrics(&res.Stats)
+		m.Epochs = res.Epochs
+		if err := m.Finalize(start).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gmsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("workload    %s\n", id)
 	fmt.Printf("config      %s (%s profile)\n", cfg.Name, profile.Name)
@@ -102,4 +138,8 @@ func main() {
 	fmt.Printf("DRAM        reads %d  writes %d  row-hit %.1f%%\n",
 		s.DRAMReads, s.DRAMWrites,
 		100*float64(s.DRAMRowHits)/float64(1+s.DRAMRowHits+s.DRAMRowMisses))
+	if len(res.Epochs) > 0 {
+		fmt.Printf("epochs      %d samples every %d instructions (use -json to export the series)\n",
+			len(res.Epochs), *epoch)
+	}
 }

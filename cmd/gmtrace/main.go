@@ -31,7 +31,19 @@ func main() {
 	in := flag.String("in", "", "inspect: input trace file")
 	dump := flag.Int("dump", 0, "inspect: print the first N records")
 	summary := flag.Bool("summary", false, "inspect: print stream summary")
+	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmtrace:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "gmtrace:", err)
+		}
+	}()
 
 	switch {
 	case *out != "":

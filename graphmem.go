@@ -25,12 +25,16 @@
 package graphmem
 
 import (
+	"flag"
+
 	corepkg "graphmem/internal/core"
 	"graphmem/internal/graph"
 	"graphmem/internal/harness"
 	"graphmem/internal/kernels"
 	"graphmem/internal/mem"
+	"graphmem/internal/obs"
 	"graphmem/internal/sim"
+	"graphmem/internal/stats"
 	"graphmem/internal/trace"
 )
 
@@ -63,6 +67,17 @@ type (
 	KernelInstance = kernels.Instance
 	// BudgetEntry is one row of the Table IV hardware budget.
 	BudgetEntry = corepkg.BudgetEntry
+	// CoreStats is the full measurement-window counter set.
+	CoreStats = stats.CoreStats
+	// Manifest is the machine-readable record of one run or sweep.
+	Manifest = obs.Manifest
+	// EpochSample is one entry of the per-epoch telemetry series.
+	EpochSample = obs.EpochSample
+	// SweepProgress tracks runs done/planned with ETA reporting.
+	SweepProgress = obs.Progress
+	// ProfilingFlags holds the shared -cpuprofile/-memprofile/-trace
+	// command-line profiling options.
+	ProfilingFlags = obs.ProfileFlags
 )
 
 // TableI returns the paper's baseline machine configuration for the
@@ -121,6 +136,31 @@ func MakeWorkload(name string, inst KernelInstance, space *Space) Workload {
 func GenerateMixes(pool []WorkloadID, n int, seed uint64) [][]WorkloadID {
 	return harness.GenerateMixes(pool, n, seed)
 }
+
+// NewManifest starts a run manifest for the named tool.
+func NewManifest(tool string) *Manifest { return obs.NewManifest(tool) }
+
+// DeriveMetrics computes the manifest's headline metrics from final
+// window counters.
+func DeriveMetrics(s *CoreStats) obs.Derived { return obs.DeriveMetrics(s) }
+
+// NewProgress creates a sweep progress reporter emitting lines to out
+// (nil = silent counting).
+func NewProgress(out func(string)) *SweepProgress { return obs.NewProgress(out) }
+
+// RegisterProfilingFlags installs -cpuprofile, -memprofile and -trace
+// on a flag set; call Start() on the result after flag parsing.
+func RegisterProfilingFlags(fs *flag.FlagSet) *ProfilingFlags {
+	return obs.RegisterProfileFlags(fs)
+}
+
+// Epoch telemetry exporters (CSV and JSONL time-series writers).
+var (
+	// WriteEpochsCSV writes per-core epoch curves as CSV.
+	WriteEpochsCSV = obs.WriteEpochsCSV
+	// WriteEpochsJSONL writes one JSON object per (core, epoch).
+	WriteEpochsJSONL = obs.WriteEpochsJSONL
+)
 
 // Budget computes the Table IV per-core hardware budget.
 func Budget(sdcBytes, lpEntries, sdcDirEntries, cores int) []BudgetEntry {

@@ -26,6 +26,7 @@ func (wb *Workbench) Energy(subset []WorkloadID) *EnergyResult {
 	if subset == nil {
 		subset = AllWorkloads()
 	}
+	wb.Reporter.Plan(2 * len(subset))
 	model := energy.Paper22nm()
 	res := &EnergyResult{Workloads: subset}
 	base := wb.BaseConfig()

@@ -49,9 +49,11 @@ func GenerateMixes(pool []WorkloadID, n int, seed uint64) [][]WorkloadID {
 // system", Section IV-D), memoized.
 func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 	key := id.String()
+	label := fmt.Sprintf("isolated %-22s", id)
 	wb.mu.Lock()
 	if v, ok := wb.singles[key]; ok {
 		wb.mu.Unlock()
+		wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f", v))
 		return v
 	}
 	wb.mu.Unlock()
@@ -60,9 +62,10 @@ func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 		WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
 	ws := make([]sim.Workload, mixCores)
 	ws[0] = wb.Workload(id, 0)
+	finish := wb.Reporter.StartRun(label)
 	res := sim.RunMultiCore(cfg, ws)
 	v := res.PerCore[0].IPC()
-	wb.log("isolated %-22s IPC=%.3f", id, v)
+	finish(fmt.Sprintf("IPC=%.3f", v))
 
 	wb.mu.Lock()
 	wb.singles[key] = v
@@ -75,11 +78,19 @@ func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 func (wb *Workbench) runMix(cfg sim.Config, mix []WorkloadID) []float64 {
 	cfg = cfg.WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
 	ws := make([]sim.Workload, mixCores)
+	names := ""
 	for i, id := range mix {
 		ws[i] = wb.Workload(id, i)
+		if i > 0 {
+			names += "+"
+		}
+		names += id.String()
 	}
+	finish := wb.Reporter.StartRun(fmt.Sprintf("mix %-14s %s", cfg.Name, names))
 	res := sim.RunMultiCore(cfg, ws)
-	return res.IPCs()
+	ipcs := res.IPCs()
+	finish(fmt.Sprintf("IPCs=%.3v", ipcs))
+	return ipcs
 }
 
 // Fig14 runs the multi-core comparison over the profile's mix count
@@ -97,6 +108,9 @@ func (wb *Workbench) Fig14(mixes [][]WorkloadID) *Fig14Result {
 		base4.WithSDCLP(),
 	}
 	res := &Fig14Result{Mixes: mixes}
+	// Every singleIPC/runMix call counts toward the plan; memoized
+	// isolated runs complete instantly as cached.
+	wb.Reporter.Plan(len(mixes) * (mixCores + 1 + len(configs)))
 
 	// Per-thread isolated IPCs (shared across schemes).
 	singles := make([][]float64, len(mixes))
@@ -108,7 +122,6 @@ func (wb *Workbench) Fig14(mixes [][]WorkloadID) *Fig14Result {
 		}
 		singles[m] = s
 		baseShared[m] = wb.runMix(base4, mix)
-		wb.log("mix %02d baseline shared IPCs %v", m, baseShared[m])
 	}
 
 	for _, cfg := range configs {

@@ -21,6 +21,7 @@ func (wb *Workbench) Fig2(subset []WorkloadID) *Fig2Result {
 	if subset == nil {
 		subset = AllWorkloads()
 	}
+	wb.Reporter.Plan(len(subset))
 	res := &Fig2Result{Workloads: subset}
 	base := wb.BaseConfig()
 	var dramServed, missServed int64

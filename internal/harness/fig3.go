@@ -21,6 +21,7 @@ type Fig3Result struct {
 // Fig3 reproduces the characterization on the given workload (the
 // paper uses cc.friendster).
 func (wb *Workbench) Fig3(id WorkloadID) *Fig3Result {
+	wb.Reporter.Plan(1)
 	cfg := wb.BaseConfig()
 	w := wb.Workload(id, 0)
 	sys := sim.NewSystem(cfg, []sim.Workload{w})
@@ -28,7 +29,9 @@ func (wb *Workbench) Fig3(id WorkloadID) *Fig3Result {
 	sys.Observer = func(coreID int, pc uint64, blk mem.BlockAddr, served mem.ServedBy) {
 		prof.Observe(pc, blk, served)
 	}
-	sys.RunCore0(w)
+	finish := wb.Reporter.StartRun(fmt.Sprintf("profiled %-22s %-14s", id, cfg.Name))
+	r := sys.RunCore0(w)
+	finish(fmt.Sprintf("IPC=%.3f", r.IPC()))
 	res := &Fig3Result{Workload: id}
 	for b := 0; b < trace.StrideBuckets; b++ {
 		res.Labels = append(res.Labels, trace.BucketLabel(b))

@@ -27,6 +27,7 @@ func (wb *Workbench) runSpeedups(id, title string, configs []sim.Config, subset 
 	if subset == nil {
 		subset = AllWorkloads()
 	}
+	wb.Reporter.Plan(len(subset) * (1 + len(configs)))
 	res := &SpeedupResult{ID: id, Title: title, Workloads: subset}
 	base := wb.BaseConfig()
 	baseIPC := make([]float64, len(subset))

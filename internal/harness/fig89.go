@@ -27,6 +27,7 @@ func (wb *Workbench) Fig89(subset []WorkloadID) *Fig89Result {
 	if subset == nil {
 		subset = AllWorkloads()
 	}
+	wb.Reporter.Plan(2 * len(subset))
 	res := &Fig89Result{Workloads: subset}
 	base := wb.BaseConfig()
 	sdclp := wb.Profile.BaseConfig(1).WithSDCLP()

@@ -14,6 +14,7 @@ import (
 	"graphmem/internal/graph"
 	"graphmem/internal/kernels"
 	"graphmem/internal/mem"
+	"graphmem/internal/obs"
 	"graphmem/internal/sim"
 )
 
@@ -148,8 +149,14 @@ func ProfileByName(name string) (Profile, error) {
 // experiments that share runs (Fig. 7/8/9/13) don't recompute them.
 type Workbench struct {
 	Profile Profile
-	// Progress, when set, receives one line per completed run.
+	// Progress, when set, receives the reporter's output lines (one per
+	// completed run plus narration). Set it before running experiments.
 	Progress func(msg string)
+	// Reporter tracks sweep progress (runs done/planned, moving-average
+	// run time, ETA). It emits through Progress, so a nil Progress keeps
+	// the workbench silent while counts stay accurate. Replace it to
+	// capture structured progress directly.
+	Reporter *obs.Progress
 
 	mu      sync.Mutex
 	graphs  map[string]*graph.Graph
@@ -159,18 +166,22 @@ type Workbench struct {
 
 // NewWorkbench creates an empty workbench for the profile.
 func NewWorkbench(p Profile) *Workbench {
-	return &Workbench{
+	wb := &Workbench{
 		Profile: p,
 		graphs:  make(map[string]*graph.Graph),
 		results: make(map[string]*sim.Result),
 		singles: make(map[string]float64),
 	}
+	wb.Reporter = obs.NewProgress(func(msg string) {
+		if wb.Progress != nil {
+			wb.Progress(msg)
+		}
+	})
+	return wb
 }
 
 func (wb *Workbench) log(format string, args ...any) {
-	if wb.Progress != nil {
-		wb.Progress(fmt.Sprintf(format, args...))
-	}
+	wb.Reporter.Log(fmt.Sprintf(format, args...))
 }
 
 // Graph returns (building and caching on first use) the named input.
@@ -232,17 +243,20 @@ func (wb *Workbench) BaseConfig() sim.Config {
 // memoizing by (config name, workload).
 func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 	key := cfg.Name + "|" + id.String()
+	label := fmt.Sprintf("ran %-22s %-14s", id, cfg.Name)
 	wb.mu.Lock()
 	if r, ok := wb.results[key]; ok {
 		wb.mu.Unlock()
+		wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f", r.IPC()))
 		return r
 	}
 	wb.mu.Unlock()
 
 	cfg = wb.configured(cfg)
 	w := wb.Workload(id, 0)
+	finish := wb.Reporter.StartRun(label)
 	res := sim.RunSingleCore(cfg, w)
-	wb.log("ran %-22s %-14s IPC=%.3f", id, cfg.Name, res.IPC())
+	finish(fmt.Sprintf("IPC=%.3f", res.IPC()))
 
 	wb.mu.Lock()
 	wb.results[key] = res

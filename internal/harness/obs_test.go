@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTab1GoldenBytes pins the text rendering byte-for-byte: wiring the
+// progress reporter through the workbench must not perturb table output
+// (the tables go to stdout, progress to stderr).
+func TestTab1GoldenBytes(t *testing.T) {
+	want, err := os.ReadFile("testdata/tab1_bench.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	NewWorkbench(Bench()).Tab1().Render(&buf)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("tab1 rendering drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	tab.AddRow("r1", 1.5)
+	tab.AddRow("has,comma", "q\"uote")
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(recs) != 3 || recs[0][0] != "a" || recs[1][1] != "1.50" || recs[2][0] != "has,comma" {
+		t.Errorf("bad CSV records: %v", recs)
+	}
+}
+
+// TestWorkbenchProgressReporting exercises the reporter end-to-end on a
+// cheap experiment: planned totals match completed runs, cached rerun
+// lines are marked, and the legacy Progress func receives everything.
+func TestWorkbenchProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	wbShared.Progress = func(msg string) {
+		mu.Lock()
+		lines = append(lines, msg)
+		mu.Unlock()
+	}
+	defer func() { wbShared.Progress = nil }()
+
+	// Other tests run unplanned RunSingle calls on the shared workbench,
+	// so assert deltas: one Fig2 over two workloads plans and completes
+	// exactly two runs.
+	done0, total0, _, _ := wbShared.Reporter.Snapshot()
+	wbShared.Fig2(subsetKron())
+	done, total, _, eta := wbShared.Reporter.Snapshot()
+	if done != done0+2 || total != total0+2 {
+		t.Errorf("fig2 progress deltas wrong: done %d->%d total %d->%d", done0, done, total0, total)
+	}
+	if eta != 0 && done >= total {
+		t.Errorf("nonzero ETA %v with no runs remaining", eta)
+	}
+
+	// Re-running the same experiment is fully memoized: counts advance,
+	// lines are flagged cached.
+	mu.Lock()
+	lines = nil
+	mu.Unlock()
+	wbShared.Fig2(subsetKron())
+	done2, total2, _, _ := wbShared.Reporter.Snapshot()
+	if done2 != done+2 || total2 != total+2 {
+		t.Errorf("memoized rerun counted wrong: done %d->%d total %d->%d", done, done2, total, total2)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("got %d progress lines, want 2:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "(cached)") || !strings.Contains(l, "IPC=") {
+			t.Errorf("cached line malformed: %q", l)
+		}
+	}
+}

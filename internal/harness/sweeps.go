@@ -21,6 +21,7 @@ func (wb *Workbench) Fig10(subset []WorkloadID) *Fig10Result {
 		subset = AllWorkloads()
 	}
 	res := &Fig10Result{SizesKB: []int{8, 16, 32}}
+	wb.Reporter.Plan(len(subset) * (1 + len(res.SizesKB)))
 	base := wb.BaseConfig()
 	baseIPC := make([]float64, len(subset))
 	for i, w := range subset {
@@ -85,6 +86,7 @@ func (wb *Workbench) Fig11(subset []WorkloadID) *SweepResult {
 	}
 	res := &SweepResult{ID: "fig11", Title: "LP fully-associative entry sweep (Fig. 11)", Param: "entries",
 		Note: "paper: 13.7% / 17.9% / 20.7% / 20.7%"}
+	wb.Reporter.Plan(len(subset) * 5)
 	base := wb.BaseConfig()
 	baseIPC := make([]float64, len(subset))
 	for i, w := range subset {
@@ -110,6 +112,7 @@ func (wb *Workbench) Fig12(subset []WorkloadID) *SweepResult {
 	}
 	res := &SweepResult{ID: "fig12", Title: "LP associativity sweep, 32 entries (Fig. 12)", Param: "ways",
 		Note: "paper: 17.0% / 20.3% / 20.7% / 20.7%; 8-way is near-optimal"}
+	wb.Reporter.Plan(len(subset) * 5)
 	base := wb.BaseConfig()
 	baseIPC := make([]float64, len(subset))
 	for i, w := range subset {
@@ -156,6 +159,7 @@ func (wb *Workbench) Tau(subset []WorkloadID, taus []uint64) *TauResult {
 	}
 	reg := RegularWorkloads()
 	res := &TauResult{Taus: taus}
+	wb.Reporter.Plan((len(subset) + len(reg)) * (1 + len(taus)))
 	base := wb.BaseConfig()
 	graphBase := make([]float64, len(subset))
 	for i, w := range subset {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -79,6 +80,20 @@ func (t *Table) Render(w io.Writer) {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as plain CSV (header row then data rows;
+// title and notes are dropped — they live in the run manifest).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // String renders to a string.

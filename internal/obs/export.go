@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// epochCSVHeader is the fixed column order of the CSV exporter; kept in
+// lockstep with epochCSVRow.
+var epochCSVHeader = []string{
+	"core", "epoch", "start_instr", "instructions", "cycles", "ipc",
+	"l1d_mpki", "sdc_mpki", "l2_mpki", "llc_mpki",
+	"lp_averse_frac", "dram_row_hit_rate", "dram_frac",
+	"served_dram", "served_sdc",
+}
+
+func epochCSVRow(coreID int, m EpochMetrics) []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	return []string{
+		strconv.Itoa(coreID),
+		strconv.Itoa(m.Epoch),
+		strconv.FormatInt(m.StartInstr, 10),
+		strconv.FormatInt(m.Instructions, 10),
+		strconv.FormatInt(m.Cycles, 10),
+		f(m.IPC),
+		f(m.L1DMPKI), f(m.SDCMPKI), f(m.L2MPKI), f(m.LLCMPKI),
+		f(m.LPAverse), f(m.DRAMRowHit), f(m.DRAMFrac),
+		strconv.FormatInt(m.ServedDRAM, 10),
+		strconv.FormatInt(m.ServedSDC, 10),
+	}
+}
+
+// WriteEpochsCSV writes the derived per-epoch curves of one or more
+// cores as CSV with a header row. perCore[i] is core i's series.
+func WriteEpochsCSV(w io.Writer, perCore [][]EpochSample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(epochCSVHeader); err != nil {
+		return err
+	}
+	for coreID, epochs := range perCore {
+		for i := range epochs {
+			if err := cw.Write(epochCSVRow(coreID, epochs[i].Metrics())); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// epochLine is the JSONL record shape: the derived curve point plus the
+// raw counter deltas, one line per (core, epoch).
+type epochLine struct {
+	Core int `json:"core"`
+	EpochMetrics
+	Stats any `json:"stats,omitempty"`
+}
+
+// WriteEpochsJSONL writes one JSON object per (core, epoch) line.
+// When raw is true each line also carries the full counter deltas.
+func WriteEpochsJSONL(w io.Writer, perCore [][]EpochSample, raw bool) error {
+	enc := json.NewEncoder(w)
+	for coreID, epochs := range perCore {
+		for i := range epochs {
+			line := epochLine{Core: coreID, EpochMetrics: epochs[i].Metrics()}
+			if raw {
+				line.Stats = &epochs[i].Stats
+			}
+			if err := enc.Encode(line); err != nil {
+				return fmt.Errorf("obs: jsonl encode core %d epoch %d: %w", coreID, i, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"graphmem/internal/stats"
+)
+
+func sampleSeries() [][]EpochSample {
+	mk := func(idx int, start, n int64) EpochSample {
+		var s stats.CoreStats
+		s.Instructions = n
+		s.Cycles = 2 * n
+		s.L1D.Misses = 10
+		s.SDC.Misses = 4
+		s.LPPredAverse, s.LPPredFriendly = 3, 1
+		s.DRAMRowHits, s.DRAMRowMisses = 6, 2
+		s.ServedDRAM, s.ServedL2 = 5, 5
+		return EpochSample{Index: idx, StartInstr: start, EndInstr: start + n, Stats: s}
+	}
+	return [][]EpochSample{
+		{mk(0, 1000, 500), mk(1, 1500, 500), mk(2, 2000, 250)},
+		{mk(0, 0, 800)},
+	}
+}
+
+func TestEpochMetricsDerivation(t *testing.T) {
+	e := sampleSeries()[0][0]
+	m := e.Metrics()
+	if m.Instructions != 500 || m.Epoch != 0 || m.StartInstr != 1000 {
+		t.Fatalf("metrics identity fields wrong: %+v", m)
+	}
+	if m.IPC != 0.5 {
+		t.Errorf("IPC = %g, want 0.5", m.IPC)
+	}
+	if m.L1DMPKI != 20 {
+		t.Errorf("L1D MPKI = %g, want 20", m.L1DMPKI)
+	}
+	if m.LPAverse != 0.75 || m.DRAMRowHit != 0.75 || m.DRAMFrac != 0.5 {
+		t.Errorf("derived fractions wrong: %+v", m)
+	}
+}
+
+func TestSumInstructions(t *testing.T) {
+	if got := SumInstructions(sampleSeries()[0]); got != 1250 {
+		t.Errorf("SumInstructions = %d, want 1250", got)
+	}
+	if got := SumInstructions(nil); got != 0 {
+		t.Errorf("SumInstructions(nil) = %d", got)
+	}
+}
+
+func TestWriteEpochsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEpochsCSV(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // header + 3 + 1
+		t.Fatalf("got %d CSV rows, want 5", len(rows))
+	}
+	if rows[0][0] != "core" || rows[0][5] != "ipc" {
+		t.Errorf("unexpected header %v", rows[0])
+	}
+	if rows[4][0] != "1" || rows[4][1] != "0" {
+		t.Errorf("core-1 row wrong: %v", rows[4])
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(epochCSVHeader) {
+			t.Errorf("row width %d != header width %d", len(row), len(epochCSVHeader))
+		}
+	}
+}
+
+func TestWriteEpochsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEpochsJSONL(&buf, sampleSeries(), true); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if _, ok := m["ipc"]; !ok {
+			t.Errorf("line %d missing ipc: %v", lines, m)
+		}
+		if _, ok := m["stats"]; !ok {
+			t.Errorf("line %d missing raw stats", lines)
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Errorf("got %d JSONL lines, want 4", lines)
+	}
+
+	buf.Reset()
+	if err := WriteEpochsJSONL(&buf, sampleSeries(), false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"stats"`) {
+		t.Error("raw=false must omit the stats block")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest("gmsim-test")
+	m.Profile = "bench"
+	m.Workload = "pr.kron"
+	m.Config = RunConfig{Name: "SDC+LP", Cores: 1, Routing: "lp", Warmup: 100, Measure: 200, EpochInterval: 50}
+	m.Final.Instructions = 200
+	m.Final.Cycles = 400
+	m.Derived = DeriveMetrics(&m.Final)
+	m.Epochs = sampleSeries()[0]
+	m.Finalize(time.Now().Add(-2 * time.Second))
+
+	if m.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d", m.SchemaVersion)
+	}
+	if m.WallClockSec < 1.5 {
+		t.Errorf("wall clock %.2fs, want ~2s", m.WallClockSec)
+	}
+	if m.Runtime.GoVersion == "" || m.Runtime.NumCPU <= 0 {
+		t.Errorf("runtime info not captured: %+v", m.Runtime)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != "pr.kron" || back.Config.Name != "SDC+LP" || len(back.Epochs) != 3 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	if back.Derived.IPC != 0.5 {
+		t.Errorf("derived IPC %g", back.Derived.IPC)
+	}
+}
+
+func TestProgressCountsAndETA(t *testing.T) {
+	var lines []string
+	p := NewProgress(func(s string) { lines = append(lines, s) })
+	clock := time.Unix(0, 0)
+	p.now = func() time.Time { return clock }
+
+	p.Plan(4)
+	for i := 0; i < 2; i++ {
+		finish := p.StartRun("run")
+		clock = clock.Add(2 * time.Second)
+		finish("IPC=1.0")
+	}
+	p.Cached("run", "IPC=1.0")
+
+	done, total, avg, eta := p.Snapshot()
+	if done != 3 || total != 4 {
+		t.Fatalf("done/total = %d/%d, want 3/4", done, total)
+	}
+	if avg != 2*time.Second {
+		t.Errorf("avg = %v, want 2s", avg)
+	}
+	if eta != 2*time.Second {
+		t.Errorf("eta = %v, want 2s (1 remaining x 2s)", eta)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "[  1/4]") || !strings.Contains(lines[0], "2s") {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "eta") {
+		t.Errorf("second line should carry an ETA: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "(cached)") {
+		t.Errorf("cached line = %q", lines[2])
+	}
+}
+
+func TestProgressNilSinkIsSilent(t *testing.T) {
+	p := NewProgress(nil)
+	p.Plan(1)
+	p.StartRun("x")("")
+	p.Log("ignored")
+	if done, total, _, _ := p.Snapshot(); done != 1 || total != 1 {
+		t.Errorf("nil-sink reporter must still count: %d/%d", done, total)
+	}
+}
+
+func TestProgressUnplannedTotal(t *testing.T) {
+	var lines []string
+	p := NewProgress(func(s string) { lines = append(lines, s) })
+	p.StartRun("x")("")
+	if len(lines) != 1 || !strings.Contains(lines[0], "/?]") {
+		t.Errorf("unplanned total should render '?': %v", lines)
+	}
+}
+
+func TestProfileFlagsStartStop(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := RegisterProfileFlags(fs)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem, "-trace", tr}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the profiles are non-trivial.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s not written: %v", path, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestProfileFlagsNoopWhenUnset(t *testing.T) {
+	p := &ProfileFlags{}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ProfileFlags is the shared profiling flag set of the cmd/ tools:
+// -cpuprofile, -memprofile and -trace, so hot-path work is measurable
+// with the standard Go toolchain (go tool pprof / go tool trace).
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+	TracePath  string
+}
+
+// RegisterProfileFlags registers the three profiling flags on fs
+// (flag.CommandLine in the tools) and returns the destination struct.
+func RegisterProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	p := &ProfileFlags{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	fs.StringVar(&p.TracePath, "trace", "", "write a Go execution trace to this file")
+	return p
+}
+
+// Start begins the requested profiling and returns a stop func to defer
+// in main; stop ends the CPU profile and execution trace and writes the
+// heap profile. With no flags set both Start and stop are no-ops.
+func (p *ProfileFlags) Start() (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if p.CPUProfile != "" {
+		cpuF, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+	}
+	if p.TracePath != "" {
+		traceF, err = os.Create(p.TracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	memPath := p.MemProfile
+	return func() error {
+		cleanup()
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("obs: memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("obs: memprofile: %w", err)
+		}
+		return nil
+	}, nil
+}

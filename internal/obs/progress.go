@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// progressWindow is the number of recent live runs the moving-average
+// run time is computed over.
+const progressWindow = 16
+
+// Progress is the sweep progress reporter: experiments plan their run
+// counts up front, every simulation reports start/finish, and each
+// finish emits one line with runs completed/total, the moving-average
+// run time and the estimated time remaining. Cached (memoized) results
+// count toward completion but do not pollute the run-time average.
+// All methods are safe for concurrent use.
+type Progress struct {
+	mu  sync.Mutex
+	out func(string)
+	now func() time.Time
+
+	total  int
+	done   int
+	window [progressWindow]time.Duration
+	wn, wi int
+}
+
+// NewProgress creates a reporter emitting lines to out; a nil out
+// discards everything (the -q path) while still tracking counts.
+func NewProgress(out func(string)) *Progress {
+	return &Progress{out: out, now: time.Now}
+}
+
+// Plan registers n additional upcoming runs. Experiments call it before
+// their loops so ETAs cover the whole sweep, not just the current loop.
+func (p *Progress) Plan(n int) {
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+}
+
+// Log emits a pass-through narration line (graph building etc.).
+func (p *Progress) Log(msg string) {
+	p.mu.Lock()
+	out := p.out
+	p.mu.Unlock()
+	if out != nil {
+		out(msg)
+	}
+}
+
+// StartRun marks one run as started and returns its finish func; call
+// the returned func with a short result detail ("IPC=0.453") when the
+// run completes. The finish func updates the moving average and emits
+// the progress line.
+func (p *Progress) StartRun(label string) func(detail string) {
+	start := p.now()
+	return func(detail string) {
+		d := p.now().Sub(start)
+		p.mu.Lock()
+		p.done++
+		p.window[p.wi] = d
+		p.wi = (p.wi + 1) % progressWindow
+		if p.wn < progressWindow {
+			p.wn++
+		}
+		line := p.lineLocked(label, detail, d, false)
+		out := p.out
+		p.mu.Unlock()
+		if out != nil {
+			out(line)
+		}
+	}
+}
+
+// Cached marks one run as satisfied from the memo cache: it counts
+// toward completion instantly and leaves the run-time average alone.
+func (p *Progress) Cached(label, detail string) {
+	p.mu.Lock()
+	p.done++
+	line := p.lineLocked(label, detail, 0, true)
+	out := p.out
+	p.mu.Unlock()
+	if out != nil {
+		out(line)
+	}
+}
+
+// Snapshot returns completed/total counts and the current moving
+// average and ETA (both zero until a live run finished or when no runs
+// remain).
+func (p *Progress) Snapshot() (done, total int, avg, eta time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done, total = p.done, p.total
+	avg = p.avgLocked()
+	if remaining := total - done; remaining > 0 {
+		eta = avg * time.Duration(remaining)
+	}
+	return done, total, avg, eta
+}
+
+func (p *Progress) avgLocked() time.Duration {
+	if p.wn == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for i := 0; i < p.wn; i++ {
+		sum += p.window[i]
+	}
+	return sum / time.Duration(p.wn)
+}
+
+func (p *Progress) lineLocked(label, detail string, d time.Duration, cached bool) string {
+	totalStr := "?"
+	if p.total > 0 {
+		totalStr = fmt.Sprint(p.total)
+	}
+	line := fmt.Sprintf("[%3d/%s] %s", p.done, totalStr, label)
+	if detail != "" {
+		line += " " + detail
+	}
+	if cached {
+		return line + " (cached)"
+	}
+	line += fmt.Sprintf(" | %s", fmtDuration(d))
+	if avg := p.avgLocked(); avg > 0 {
+		line += fmt.Sprintf(" | avg %s", fmtDuration(avg))
+		if remaining := p.total - p.done; remaining > 0 {
+			line += fmt.Sprintf(" | eta %s", fmtDuration(avg*time.Duration(remaining)))
+		}
+	}
+	return line
+}
+
+// fmtDuration renders a duration at human sweep granularity.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Truncate(time.Second).String()
+	case d >= time.Second:
+		return d.Truncate(100 * time.Millisecond).String()
+	default:
+		return d.Truncate(time.Millisecond).String()
+	}
+}

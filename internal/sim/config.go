@@ -12,6 +12,7 @@ import (
 	corepkg "graphmem/internal/core"
 	"graphmem/internal/cpu"
 	"graphmem/internal/dram"
+	"graphmem/internal/obs"
 )
 
 // RoutingMode selects how memory accesses are routed to the SDC.
@@ -113,6 +114,13 @@ type Config struct {
 
 	// Warmup and Measure are the per-core instruction windows.
 	Warmup, Measure int64
+
+	// EpochInterval, when positive, snapshots the full per-core counter
+	// set every EpochInterval retired instructions inside the
+	// measurement window, yielding the per-epoch telemetry series in
+	// Result.Epochs / MultiResult.Epochs. Zero (the default) disables
+	// sampling at no cost to the core loop.
+	EpochInterval int64
 }
 
 // TableI returns the paper's baseline configuration (Table I) for the
@@ -151,6 +159,29 @@ func TableI(cores int) Config {
 func (c Config) WithWindows(warmup, measure int64) Config {
 	c.Warmup, c.Measure = warmup, measure
 	return c
+}
+
+// WithEpochInterval returns a copy with epoch telemetry sampling every
+// n retired instructions (0 disables).
+func (c Config) WithEpochInterval(n int64) Config {
+	c.EpochInterval = n
+	return c
+}
+
+// ManifestInfo summarizes the configuration for an obs run manifest.
+func (c Config) ManifestInfo() obs.RunConfig {
+	return obs.RunConfig{
+		Name:          c.Name,
+		Cores:         c.Cores,
+		Routing:       c.Routing.String(),
+		L1DBytes:      c.L1D.SizeBytes,
+		SDCBytes:      c.SDC.SizeBytes,
+		L2Bytes:       c.L2.SizeBytes,
+		LLCBytes:      c.LLCPerCoreBytes * c.Cores,
+		Warmup:        c.Warmup,
+		Measure:       c.Measure,
+		EpochInterval: c.EpochInterval,
+	}
 }
 
 // WithSDCLP returns the SDC+LP proposal configuration.

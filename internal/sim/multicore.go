@@ -3,6 +3,7 @@ package sim
 import (
 	"sync/atomic"
 
+	"graphmem/internal/obs"
 	"graphmem/internal/stats"
 	"graphmem/internal/trace"
 )
@@ -102,6 +103,9 @@ type MultiResult struct {
 	PerCore []stats.CoreStats
 	// Names are the per-slot workload names.
 	Names []string
+	// Epochs holds each core's epoch telemetry series (nil slices
+	// unless the config's EpochInterval was positive).
+	Epochs [][]obs.EpochSample
 }
 
 // IPCs returns the per-core measured IPCs.
@@ -226,6 +230,7 @@ func RunMultiCoreOn(sys *System, ws []Workload) *MultiResult {
 		sl.c.finish()
 		res.PerCore = append(res.PerCore, sl.c.measured)
 		res.Names = append(res.Names, ws[i].Name)
+		res.Epochs = append(res.Epochs, sl.c.epochs)
 	}
 	return res
 }

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"graphmem/internal/mem"
+	"graphmem/internal/obs"
 	"graphmem/internal/stats"
 	"graphmem/internal/trace"
 )
@@ -49,50 +51,9 @@ func (c *coreCtx) snapshotCounters() stats.CoreStats {
 	return s
 }
 
-func subCache(a, b stats.CacheStats) stats.CacheStats {
-	return stats.CacheStats{
-		Hits:       a.Hits - b.Hits,
-		Misses:     a.Misses - b.Misses,
-		Prefetches: a.Prefetches - b.Prefetches,
-		Writebacks: a.Writebacks - b.Writebacks,
-		Evictions:  a.Evictions - b.Evictions,
-		MergedMSHR: a.MergedMSHR - b.MergedMSHR,
-	}
-}
-
-// delta computes end-minus-start across every counter.
-func delta(end, start stats.CoreStats) stats.CoreStats {
-	d := stats.CoreStats{
-		Cycles:           end.Cycles - start.Cycles,
-		Instructions:     end.Instructions - start.Instructions,
-		MemOps:           end.MemOps - start.MemOps,
-		Loads:            end.Loads - start.Loads,
-		Stores:           end.Stores - start.Stores,
-		TotalLoadLatency: end.TotalLoadLatency - start.TotalLoadLatency,
-		L1D:              subCache(end.L1D, start.L1D),
-		SDC:              subCache(end.SDC, start.SDC),
-		L2:               subCache(end.L2, start.L2),
-		LLC:              subCache(end.LLC, start.LLC),
-		DTLB:             subCache(end.DTLB, start.DTLB),
-		STLB:             subCache(end.STLB, start.STLB),
-		ServedL1D:        end.ServedL1D - start.ServedL1D,
-		ServedSDC:        end.ServedSDC - start.ServedSDC,
-		ServedL2:         end.ServedL2 - start.ServedL2,
-		ServedLLC:        end.ServedLLC - start.ServedLLC,
-		ServedRemote:     end.ServedRemote - start.ServedRemote,
-		ServedDRAM:       end.ServedDRAM - start.ServedDRAM,
-		LPPredAverse:     end.LPPredAverse - start.LPPredAverse,
-		LPPredFriendly:   end.LPPredFriendly - start.LPPredFriendly,
-		LPTableMisses:    end.LPTableMisses - start.LPTableMisses,
-		SDCDirLookups:    end.SDCDirLookups - start.SDCDirLookups,
-		SDCDirEvictions:  end.SDCDirEvictions - start.SDCDirEvictions,
-		DRAMReads:        end.DRAMReads - start.DRAMReads,
-		DRAMWrites:       end.DRAMWrites - start.DRAMWrites,
-		DRAMRowHits:      end.DRAMRowHits - start.DRAMRowHits,
-		DRAMRowMisses:    end.DRAMRowMisses - start.DRAMRowMisses,
-	}
-	return d
-}
+// noEpoch disables the epoch boundary check: the hot loop's only cost
+// when sampling is off is one always-false int64 comparison.
+const noEpoch = math.MaxInt64
 
 // observe processes one record through the core and advances the
 // window state machine. It returns false once the measure window is
@@ -102,16 +63,70 @@ func (c *coreCtx) observe(r trace.Record) bool {
 	cfg := c.sys.cfg
 	if !c.inMeasure {
 		if c.cpuCore.Instructions >= cfg.Warmup {
-			c.baseCounters = c.snapshotCounters()
-			c.inMeasure = true
+			c.beginMeasure()
 		}
 		return true
 	}
+	if c.cpuCore.Instructions >= c.nextEpoch {
+		c.sampleEpoch()
+	}
 	if !c.doneMeasure && c.cpuCore.Instructions >= c.baseCounters.Instructions+cfg.Measure {
-		c.measured = delta(c.snapshotCounters(), c.baseCounters)
+		end := c.snapshotCounters()
+		c.measured = stats.Delta(end, c.baseCounters)
+		c.closeEpochs(end)
 		c.doneMeasure = true
 	}
 	return !c.doneMeasure
+}
+
+// beginMeasure opens the measurement window at the current counters and
+// arms the epoch sampler.
+func (c *coreCtx) beginMeasure() {
+	c.baseCounters = c.snapshotCounters()
+	c.inMeasure = true
+	c.epochBase = c.baseCounters
+	c.nextEpoch = noEpoch
+	if iv := c.sys.cfg.EpochInterval; iv > 0 {
+		c.nextEpoch = c.baseCounters.Instructions + iv
+	}
+}
+
+// sampleEpoch closes the running epoch at the current counters,
+// appending its delta to the series. An epoch may overshoot the
+// configured interval by the instruction count of the record that
+// crossed the boundary; the next boundary is re-anchored at the actual
+// sample point so consecutive samples always tile the window.
+func (c *coreCtx) sampleEpoch() {
+	snap := c.snapshotCounters()
+	c.epochs = append(c.epochs, obs.EpochSample{
+		Index:      len(c.epochs),
+		StartInstr: c.epochBase.Instructions,
+		EndInstr:   snap.Instructions,
+		Stats:      stats.Delta(snap, c.epochBase),
+	})
+	c.epochBase = snap
+	c.nextEpoch = snap.Instructions + c.sys.cfg.EpochInterval
+}
+
+// closeEpochs flushes the final (possibly short) epoch at the window
+// end — the same snapshot the measured window is computed from, so the
+// per-epoch instruction counts sum exactly to the window — and disarms
+// the sampler (cores keep executing for contention after their window
+// closes in multi-core runs).
+func (c *coreCtx) closeEpochs(end stats.CoreStats) {
+	c.nextEpoch = noEpoch
+	if c.sys.cfg.EpochInterval <= 0 {
+		return
+	}
+	if end.Instructions > c.epochBase.Instructions {
+		c.epochs = append(c.epochs, obs.EpochSample{
+			Index:      len(c.epochs),
+			StartInstr: c.epochBase.Instructions,
+			EndInstr:   end.Instructions,
+			Stats:      stats.Delta(end, c.epochBase),
+		})
+	}
+	c.epochBase = end
 }
 
 // finish closes out a core whose trace ended before the windows filled:
@@ -123,9 +138,12 @@ func (c *coreCtx) finish() {
 	if !c.inMeasure {
 		// The whole (short) run becomes the measurement.
 		c.baseCounters = stats.CoreStats{}
+		c.epochBase = stats.CoreStats{}
 		c.inMeasure = true
 	}
-	c.measured = delta(c.snapshotCounters(), c.baseCounters)
+	end := c.snapshotCounters()
+	c.measured = stats.Delta(end, c.baseCounters)
+	c.closeEpochs(end)
 	c.doneMeasure = true
 }
 
@@ -152,6 +170,11 @@ type Result struct {
 	// Reruns counts how many times the kernel restarted to fill the
 	// instruction windows.
 	Reruns int
+	// Epochs is the per-epoch telemetry series (nil unless the config's
+	// EpochInterval was positive). Consecutive samples tile the
+	// measurement window: their instruction counts sum to
+	// Stats.Instructions.
+	Epochs []obs.EpochSample
 }
 
 // IPC is the measured instructions per cycle.
@@ -194,5 +217,6 @@ func (s *System) RunCore0(w Workload) *Result {
 		Workload: w.Name,
 		Stats:    c.measured,
 		Reruns:   reruns,
+		Epochs:   c.epochs,
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"graphmem/internal/dram"
 	"graphmem/internal/kernels"
 	"graphmem/internal/mem"
+	"graphmem/internal/obs"
 	"graphmem/internal/prefetch"
 	"graphmem/internal/stats"
 	"graphmem/internal/tlb"
@@ -71,6 +72,13 @@ type coreCtx struct {
 	inMeasure    bool
 	doneMeasure  bool
 	baseCounters stats.CoreStats // snapshot at warm-up end
+
+	// Epoch sampler state (armed by beginMeasure when the config's
+	// EpochInterval is positive; nextEpoch is noEpoch otherwise, so
+	// the hot loop pays a single comparison).
+	nextEpoch int64
+	epochBase stats.CoreStats   // snapshot at the current epoch start
+	epochs    []obs.EpochSample // completed epoch deltas
 
 	// Final measure-window stats (valid once doneMeasure).
 	measured stats.CoreStats
@@ -140,7 +148,7 @@ func NewSystem(cfg Config, ws []Workload) *System {
 	}
 
 	for i := 0; i < cfg.Cores; i++ {
-		c := &coreCtx{id: i, sys: s, w: ws[i]}
+		c := &coreCtx{id: i, sys: s, w: ws[i], nextEpoch: noEpoch}
 		l1Cfg := cfg.L1D
 		c.l1d = cache.New(l1Cfg)
 		if cfg.VictimEntries > 0 {

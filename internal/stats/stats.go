@@ -54,6 +54,21 @@ func (c *CacheStats) Add(other *CacheStats) {
 	c.MergedMSHR += other.MergedMSHR
 }
 
+// Sub subtracts other from c — the inverse of Add, used to turn two
+// running-total snapshots into a window delta. Every counter must
+// appear in both Add and Sub; TestCacheStatsAddSubRoundTrip enforces
+// this by reflection.
+func (c *CacheStats) Sub(other *CacheStats) {
+	c.Hits -= other.Hits
+	c.Misses -= other.Misses
+	c.Prefetches -= other.Prefetches
+	c.PFHits -= other.PFHits
+	c.PFMisses -= other.PFMisses
+	c.Writebacks -= other.Writebacks
+	c.Evictions -= other.Evictions
+	c.MergedMSHR -= other.MergedMSHR
+}
+
 // CoreStats aggregates one core's execution over the measurement window.
 type CoreStats struct {
 	Cycles       int64
@@ -99,6 +114,81 @@ type CoreStats struct {
 	TotalLoadLatency int64
 }
 
+// Add accumulates other into s, counter by counter.
+func (s *CoreStats) Add(other *CoreStats) {
+	s.Cycles += other.Cycles
+	s.Instructions += other.Instructions
+	s.MemOps += other.MemOps
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.L1D.Add(&other.L1D)
+	s.SDC.Add(&other.SDC)
+	s.L2.Add(&other.L2)
+	s.LLC.Add(&other.LLC)
+	s.DTLB.Add(&other.DTLB)
+	s.STLB.Add(&other.STLB)
+	s.ServedL1D += other.ServedL1D
+	s.ServedSDC += other.ServedSDC
+	s.ServedL2 += other.ServedL2
+	s.ServedLLC += other.ServedLLC
+	s.ServedRemote += other.ServedRemote
+	s.ServedDRAM += other.ServedDRAM
+	s.LPPredAverse += other.LPPredAverse
+	s.LPPredFriendly += other.LPPredFriendly
+	s.LPTableMisses += other.LPTableMisses
+	s.DirLookups += other.DirLookups
+	s.DirInvals += other.DirInvals
+	s.SDCDirLookups += other.SDCDirLookups
+	s.SDCDirEvictions += other.SDCDirEvictions
+	s.DRAMReads += other.DRAMReads
+	s.DRAMWrites += other.DRAMWrites
+	s.DRAMRowHits += other.DRAMRowHits
+	s.DRAMRowMisses += other.DRAMRowMisses
+	s.TotalLoadLatency += other.TotalLoadLatency
+}
+
+// Sub subtracts other from s — the inverse of Add, used by the window
+// and epoch delta machinery in internal/sim. Every counter must appear
+// in both Add and Sub; TestCoreStatsAddSubRoundTrip enforces this by
+// reflection.
+func (s *CoreStats) Sub(other *CoreStats) {
+	s.Cycles -= other.Cycles
+	s.Instructions -= other.Instructions
+	s.MemOps -= other.MemOps
+	s.Loads -= other.Loads
+	s.Stores -= other.Stores
+	s.L1D.Sub(&other.L1D)
+	s.SDC.Sub(&other.SDC)
+	s.L2.Sub(&other.L2)
+	s.LLC.Sub(&other.LLC)
+	s.DTLB.Sub(&other.DTLB)
+	s.STLB.Sub(&other.STLB)
+	s.ServedL1D -= other.ServedL1D
+	s.ServedSDC -= other.ServedSDC
+	s.ServedL2 -= other.ServedL2
+	s.ServedLLC -= other.ServedLLC
+	s.ServedRemote -= other.ServedRemote
+	s.ServedDRAM -= other.ServedDRAM
+	s.LPPredAverse -= other.LPPredAverse
+	s.LPPredFriendly -= other.LPPredFriendly
+	s.LPTableMisses -= other.LPTableMisses
+	s.DirLookups -= other.DirLookups
+	s.DirInvals -= other.DirInvals
+	s.SDCDirLookups -= other.SDCDirLookups
+	s.SDCDirEvictions -= other.SDCDirEvictions
+	s.DRAMReads -= other.DRAMReads
+	s.DRAMWrites -= other.DRAMWrites
+	s.DRAMRowHits -= other.DRAMRowHits
+	s.DRAMRowMisses -= other.DRAMRowMisses
+	s.TotalLoadLatency -= other.TotalLoadLatency
+}
+
+// Delta returns end minus start across every counter.
+func Delta(end, start CoreStats) CoreStats {
+	end.Sub(&start)
+	return end
+}
+
 // IPC returns retired instructions per cycle.
 func (s *CoreStats) IPC() float64 {
 	if s.Cycles == 0 {
@@ -119,6 +209,36 @@ func (s *CoreStats) AvgLoadLatency() float64 {
 // accumulated first-level MPKI for the SDC+LP design).
 func (s *CoreStats) L1DemandMPKI() float64 {
 	return s.L1D.MPKI(s.Instructions) + s.SDC.MPKI(s.Instructions)
+}
+
+// DRAMRowHitRate returns the fraction of DRAM accesses that hit an open
+// row, or 0 for an idle DRAM.
+func (s *CoreStats) DRAMRowHitRate() float64 {
+	total := s.DRAMRowHits + s.DRAMRowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DRAMRowHits) / float64(total)
+}
+
+// LPAverseFraction returns the fraction of LP-classified accesses that
+// were predicted cache-averse, or 0 when the LP saw no traffic.
+func (s *CoreStats) LPAverseFraction() float64 {
+	total := s.LPPredAverse + s.LPPredFriendly
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LPPredAverse) / float64(total)
+}
+
+// DRAMFraction returns the fraction of off-L1 demand loads ultimately
+// served by DRAM (the Fig. 2 "78.6%" style metric).
+func (s *CoreStats) DRAMFraction() float64 {
+	total := s.ServedDRAM + s.ServedL2 + s.ServedLLC + s.ServedRemote
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ServedDRAM) / float64(total)
 }
 
 // String summarizes the core stats on one line.

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -34,6 +35,81 @@ func TestCacheStatsAdd(t *testing.T) {
 	a.Add(&b)
 	if a.Hits != 2 || a.Misses != 4 || a.Prefetches != 6 || a.Writebacks != 8 || a.Evictions != 10 || a.MergedMSHR != 12 {
 		t.Errorf("Add gave %+v", a)
+	}
+}
+
+// fillDistinct sets every int64 field of v (recursing into embedded
+// structs) to a distinct non-zero value, returning the next seed. It is
+// the reflection net that catches counters added to the structs but
+// forgotten in Add or Sub.
+func fillDistinct(v reflect.Value, seed int64) int64 {
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Int64:
+			f.SetInt(seed)
+			seed += 7
+		case reflect.Struct:
+			seed = fillDistinct(f, seed)
+		default:
+			panic("stats: unexpected field kind " + f.Kind().String())
+		}
+	}
+	return seed
+}
+
+// assertAllChanged fails for any int64 field equal between a and b —
+// i.e. any counter Add did not touch.
+func assertAllChanged(t *testing.T, path string, a, b reflect.Value) {
+	t.Helper()
+	for i := 0; i < a.NumField(); i++ {
+		name := path + a.Type().Field(i).Name
+		fa, fb := a.Field(i), b.Field(i)
+		switch fa.Kind() {
+		case reflect.Int64:
+			if fa.Int() == fb.Int() {
+				t.Errorf("field %s unchanged by Add — counter missing from Add?", name)
+			}
+		case reflect.Struct:
+			assertAllChanged(t, name+".", fa, fb)
+		}
+	}
+}
+
+func TestCacheStatsAddSubRoundTrip(t *testing.T) {
+	var a, b CacheStats
+	fillDistinct(reflect.ValueOf(&a).Elem(), 1)
+	fillDistinct(reflect.ValueOf(&b).Elem(), 1000)
+	orig := a
+	a.Add(&b)
+	assertAllChanged(t, "CacheStats.", reflect.ValueOf(a), reflect.ValueOf(orig))
+	a.Sub(&b)
+	if a != orig {
+		t.Errorf("Add then Sub did not round-trip: got %+v want %+v", a, orig)
+	}
+}
+
+func TestCoreStatsAddSubRoundTrip(t *testing.T) {
+	var a, b CoreStats
+	fillDistinct(reflect.ValueOf(&a).Elem(), 1)
+	fillDistinct(reflect.ValueOf(&b).Elem(), 100000)
+	orig := a
+	a.Add(&b)
+	assertAllChanged(t, "CoreStats.", reflect.ValueOf(a), reflect.ValueOf(orig))
+	a.Sub(&b)
+	if a != orig {
+		t.Errorf("Add then Sub did not round-trip:\n got %+v\nwant %+v", a, orig)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	var start, incr CoreStats
+	fillDistinct(reflect.ValueOf(&start).Elem(), 3)
+	fillDistinct(reflect.ValueOf(&incr).Elem(), 50000)
+	end := start
+	end.Add(&incr)
+	if got := Delta(end, start); got != incr {
+		t.Errorf("Delta(end, start) = %+v, want %+v", got, incr)
 	}
 }
 
@@ -164,6 +240,89 @@ func TestPercentile(t *testing.T) {
 	}
 	if !almostEqual(Percentile(xs, 25), 2) {
 		t.Errorf("p25 = %g", Percentile(xs, 25))
+	}
+}
+
+func TestPercentileSingleElement(t *testing.T) {
+	xs := []float64{42}
+	for _, p := range []float64{0, 25, 50, 99.9, 100} {
+		if got := Percentile(xs, p); got != 42 {
+			t.Errorf("Percentile([42], %g) = %g, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileOutOfRangeClamps(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := Percentile(xs, -5); got != 1 {
+		t.Errorf("Percentile(p<0) = %g, want first element", got)
+	}
+	if got := Percentile(xs, 250); got != 3 {
+		t.Errorf("Percentile(p>100) = %g, want last element", got)
+	}
+}
+
+func TestPercentileInterpolationBoundaries(t *testing.T) {
+	xs := []float64{10, 20}
+	// Halfway between the only two elements.
+	if got := Percentile(xs, 50); !almostEqual(got, 15) {
+		t.Errorf("Percentile([10 20], 50) = %g, want 15", got)
+	}
+	// Just below 100: interpolates inside the last interval.
+	if got := Percentile(xs, 99); !almostEqual(got, 19.9) {
+		t.Errorf("Percentile([10 20], 99) = %g, want 19.9", got)
+	}
+	// Interpolation in the last interval of a longer slice.
+	ys := []float64{0, 0, 0, 0, 100}
+	if got := Percentile(ys, 90); !almostEqual(got, 60) {
+		t.Errorf("Percentile(ys, 90) = %g, want 60", got)
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty slice")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestGeoMeanSpeedupEdgeCases(t *testing.T) {
+	// Parity in, zero improvement out.
+	if got := GeoMeanSpeedup([]float64{1, 1, 1}); !almostEqual(got, 0) {
+		t.Errorf("GeoMeanSpeedup(parity) = %g, want 0", got)
+	}
+	// Slowdowns come out negative.
+	if got := GeoMeanSpeedup([]float64{0.5}); !almostEqual(got, -50) {
+		t.Errorf("GeoMeanSpeedup(0.5) = %g, want -50", got)
+	}
+	// Single ratio passes through.
+	if got := GeoMeanSpeedup([]float64{1.203}); !almostEqual(got, 20.3) {
+		t.Errorf("GeoMeanSpeedup(1.203) = %g, want 20.3", got)
+	}
+	// A speed-up and its reciprocal cancel exactly.
+	if got := GeoMeanSpeedup([]float64{2, 0.5}); !almostEqual(got, 0) {
+		t.Errorf("GeoMeanSpeedup(2, 1/2) = %g, want 0", got)
+	}
+}
+
+func TestDerivedMetricHelpers(t *testing.T) {
+	var s CoreStats
+	if s.DRAMRowHitRate() != 0 || s.LPAverseFraction() != 0 || s.DRAMFraction() != 0 {
+		t.Error("idle CoreStats should report zero derived rates")
+	}
+	s.DRAMRowHits, s.DRAMRowMisses = 3, 1
+	if !almostEqual(s.DRAMRowHitRate(), 0.75) {
+		t.Errorf("DRAMRowHitRate = %g", s.DRAMRowHitRate())
+	}
+	s.LPPredAverse, s.LPPredFriendly = 9, 1
+	if !almostEqual(s.LPAverseFraction(), 0.9) {
+		t.Errorf("LPAverseFraction = %g", s.LPAverseFraction())
+	}
+	s.ServedDRAM, s.ServedL2, s.ServedLLC, s.ServedRemote = 6, 2, 1, 1
+	if !almostEqual(s.DRAMFraction(), 0.6) {
+		t.Errorf("DRAMFraction = %g", s.DRAMFraction())
 	}
 }
 
