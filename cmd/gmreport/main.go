@@ -38,6 +38,7 @@ func main() {
 	kernelsFlag := flag.String("kernels", "", "restrict to these kernels (comma separated)")
 	graphsFlag := flag.String("graphs", "", "restrict to these graphs (comma separated)")
 	mixes := flag.Int("mixes", 0, "override the number of fig14 mixes")
+	jobs := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical at any -j")
 	outDir := flag.String("out", "", "also write each table as <dir>/<id>.txt and .csv plus a sweep manifest.json")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
@@ -63,6 +64,7 @@ func main() {
 		profile.Mixes = *mixes
 	}
 	wb := graphmem.NewWorkbench(profile)
+	wb.Parallelism = *jobs
 	if !*quiet {
 		// All progress (run/cached lines with done/total and ETA,
 		// narration) flows through the workbench's obs.Progress reporter;

@@ -58,6 +58,7 @@ func main() {
 	warmup := flag.Int64("warmup", 0, "override warm-up instructions")
 	measure := flag.Int64("measure", 0, "override measured instructions")
 	epoch := flag.Int64("epoch", 0, "sample telemetry every N retired instructions (0 = off)")
+	jobs := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); a single run uses one slot")
 	jsonOut := flag.Bool("json", false, "emit a structured run manifest on stdout instead of text")
 	verbose := flag.Bool("v", false, "log run progress")
 	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
@@ -86,6 +87,7 @@ func main() {
 		profile.Measure = *measure
 	}
 	wb := graphmem.NewWorkbench(profile)
+	wb.Parallelism = *jobs
 	if *verbose {
 		wb.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}

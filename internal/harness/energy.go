@@ -21,19 +21,20 @@ type EnergyResult struct {
 	AvgBase, AvgSDC, AvgShare float64
 }
 
-// Energy integrates the Paper22nm model over Baseline and SDC+LP runs.
+// Energy integrates the Paper22nm model over Baseline and SDC+LP runs
+// (both enqueued on the worker pool together, integrated in subset
+// order).
 func (wb *Workbench) Energy(subset []WorkloadID) *EnergyResult {
 	if subset == nil {
 		subset = AllWorkloads()
 	}
-	wb.Reporter.Plan(2 * len(subset))
 	model := energy.Paper22nm()
 	res := &EnergyResult{Workloads: subset}
 	base := wb.BaseConfig()
 	sdclp := wb.Profile.BaseConfig(1).WithSDCLP()
-	for _, id := range subset {
-		b := wb.RunSingle(base, id)
-		s := wb.RunSingle(sdclp, id)
+	rs := wb.runAll(append(jobsFor(base, subset), jobsFor(sdclp, subset)...))
+	for i := range subset {
+		b, s := rs[i], rs[len(subset)+i]
 		eb := energy.Integrate(model, &b.Stats, false)
 		es := energy.Integrate(model, &s.Stats, true)
 		res.NJPerKI[0] = append(res.NJPerKI[0], eb.EnergyPerKiloInstrNJ())

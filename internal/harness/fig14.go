@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
 	"graphmem/internal/sim"
 	"graphmem/internal/stats"
@@ -46,7 +47,8 @@ func GenerateMixes(pool []WorkloadID, n int, seed uint64) [][]WorkloadID {
 
 // singleIPC returns the isolated IPC of a workload: it runs alone on
 // the Baseline multi-core machine ("IPC in isolation on the same
-// system", Section IV-D), memoized.
+// system", Section IV-D), memoized and single-flight — concurrent
+// requests for the same id share one live run.
 func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 	key := id.String()
 	label := fmt.Sprintf("isolated %-22s", id)
@@ -56,8 +58,17 @@ func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 		wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f", v))
 		return v
 	}
+	if l, ok := wb.isolated[key]; ok {
+		wb.mu.Unlock()
+		<-l.done
+		wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f", l.v))
+		return l.v
+	}
+	l := &ipcLatch{done: make(chan struct{})}
+	wb.isolated[key] = l
 	wb.mu.Unlock()
 
+	wb.acquire()
 	cfg := wb.Profile.BaseConfig(mixCores).
 		WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
 	ws := make([]sim.Workload, mixCores)
@@ -66,17 +77,24 @@ func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 	res := sim.RunMultiCore(cfg, ws)
 	v := res.PerCore[0].IPC()
 	finish(fmt.Sprintf("IPC=%.3f", v))
+	wb.release()
 
 	wb.mu.Lock()
 	wb.singles[key] = v
+	delete(wb.isolated, key)
 	wb.mu.Unlock()
+	l.v = v
+	close(l.done)
 	return v
 }
 
-// runMix simulates one mix on one config and returns per-thread shared
-// IPCs.
+// runMix simulates one mix on one config (inside a worker-pool slot)
+// and returns per-thread shared IPCs. Mix runs are not memoized: each
+// (config, mix) point is simulated exactly once per Fig14 call.
 func (wb *Workbench) runMix(cfg sim.Config, mix []WorkloadID) []float64 {
 	cfg = cfg.WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
+	wb.acquire()
+	defer wb.release()
 	ws := make([]sim.Workload, mixCores)
 	names := ""
 	for i, id := range mix {
@@ -93,8 +111,39 @@ func (wb *Workbench) runMix(cfg sim.Config, mix []WorkloadID) []float64 {
 	return ipcs
 }
 
+// liveIsolated counts the distinct mix threads whose isolated run will
+// actually execute (not yet memoized or in flight); repeats join the
+// single-flight latch and self-report as cached.
+func (wb *Workbench) liveIsolated(mixes [][]WorkloadID) int {
+	seen := make(map[string]bool)
+	live := 0
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	for _, mix := range mixes {
+		for _, id := range mix {
+			key := id.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if _, ok := wb.singles[key]; ok {
+				continue
+			}
+			if _, ok := wb.isolated[key]; ok {
+				continue
+			}
+			live++
+		}
+	}
+	return live
+}
+
 // Fig14 runs the multi-core comparison over the profile's mix count
-// (or len(mixes) if provided).
+// (or len(mixes) if provided). Isolated runs, baseline mixes and every
+// scheme mix are mutually independent, so the full run set is enqueued
+// on the worker pool up front; the weighted-speed-up aggregation then
+// walks schemes and mixes in the sequential order, so the result is
+// identical at any parallelism.
 func (wb *Workbench) Fig14(mixes [][]WorkloadID) *Fig14Result {
 	if mixes == nil {
 		mixes = GenerateMixes(nil, wb.Profile.Mixes, 14)
@@ -108,29 +157,47 @@ func (wb *Workbench) Fig14(mixes [][]WorkloadID) *Fig14Result {
 		base4.WithSDCLP(),
 	}
 	res := &Fig14Result{Mixes: mixes}
-	// Every singleIPC/runMix call counts toward the plan; memoized
-	// isolated runs complete instantly as cached.
-	wb.Reporter.Plan(len(mixes) * (mixCores + 1 + len(configs)))
+	// Plan the live work only: every mix run executes, while isolated
+	// runs dedupe through the singles cache.
+	wb.Reporter.Plan(len(mixes)*(1+len(configs)) + wb.liveIsolated(mixes))
 
-	// Per-thread isolated IPCs (shared across schemes).
 	singles := make([][]float64, len(mixes))
 	baseShared := make([][]float64, len(mixes))
-	for m, mix := range mixes {
-		s := make([]float64, mixCores)
-		for i, id := range mix {
-			s[i] = wb.singleIPC(id)
-		}
-		singles[m] = s
-		baseShared[m] = wb.runMix(base4, mix)
+	shared := make([][][]float64, len(configs)) // [scheme][mix][thread]
+	for k := range configs {
+		shared[k] = make([][]float64, len(mixes))
 	}
+	var wg sync.WaitGroup
+	for m, mix := range mixes {
+		singles[m] = make([]float64, mixCores)
+		for i, id := range mix {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				singles[m][i] = wb.singleIPC(id)
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			baseShared[m] = wb.runMix(base4, mix)
+		}()
+		for k, cfg := range configs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				shared[k][m] = wb.runMix(cfg, mix)
+			}()
+		}
+	}
+	wg.Wait()
 
-	for _, cfg := range configs {
+	for k, cfg := range configs {
 		res.Schemes = append(res.Schemes, cfg.Name)
 		ws := make([]float64, len(mixes))
 		maxPct := 0.0
-		for m, mix := range mixes {
-			shared := wb.runMix(cfg, mix)
-			ws[m] = stats.WeightedSpeedup(shared, singles[m], baseShared[m])
+		for m := range mixes {
+			ws[m] = stats.WeightedSpeedup(shared[k][m], singles[m], baseShared[m])
 			if p := (ws[m] - 1) * 100; p > maxPct {
 				maxPct = p
 			}

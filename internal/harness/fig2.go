@@ -16,17 +16,16 @@ type Fig2Result struct {
 }
 
 // Fig2 runs the baseline MPKI characterization over the given
-// workloads (nil = all 36).
+// workloads (nil = all 36). Runs execute across the worker pool; the
+// aggregation consumes them in subset order.
 func (wb *Workbench) Fig2(subset []WorkloadID) *Fig2Result {
 	if subset == nil {
 		subset = AllWorkloads()
 	}
-	wb.Reporter.Plan(len(subset))
 	res := &Fig2Result{Workloads: subset}
-	base := wb.BaseConfig()
+	rs := wb.runAll(jobsFor(wb.BaseConfig(), subset))
 	var dramServed, missServed int64
-	for _, id := range subset {
-		r := wb.RunSingle(base, id)
+	for _, r := range rs {
 		s := &r.Stats
 		res.L1D = append(res.L1D, s.L1D.MPKI(s.Instructions))
 		res.L2 = append(res.L2, s.L2.MPKI(s.Instructions))

@@ -21,6 +21,8 @@ type Fig3Result struct {
 // Fig3 reproduces the characterization on the given workload (the
 // paper uses cc.friendster).
 func (wb *Workbench) Fig3(id WorkloadID) *Fig3Result {
+	// The profiling run is never memoized (it carries a custom
+	// observer), so it always counts as one live planned run.
 	wb.Reporter.Plan(1)
 	cfg := wb.BaseConfig()
 	w := wb.Workload(id, 0)

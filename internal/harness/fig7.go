@@ -22,23 +22,25 @@ type SpeedupResult struct {
 }
 
 // runSpeedups measures the given configs against the Baseline over the
-// workloads.
+// workloads. The whole scheme grid is enqueued on the worker pool at
+// once and aggregated in scheme-major order, matching the sequential
+// schedule byte for byte.
 func (wb *Workbench) runSpeedups(id, title string, configs []sim.Config, subset []WorkloadID) *SpeedupResult {
 	if subset == nil {
 		subset = AllWorkloads()
 	}
-	wb.Reporter.Plan(len(subset) * (1 + len(configs)))
 	res := &SpeedupResult{ID: id, Title: title, Workloads: subset}
-	base := wb.BaseConfig()
-	baseIPC := make([]float64, len(subset))
-	for i, w := range subset {
-		baseIPC[i] = wb.RunSingle(base, w).IPC()
-	}
+	baseIPC := wb.baselineIPCs(subset)
+	var jobs []runReq
 	for _, cfg := range configs {
+		jobs = append(jobs, jobsFor(cfg, subset)...)
+	}
+	rs := wb.runAll(jobs)
+	for k, cfg := range configs {
 		res.Schemes = append(res.Schemes, cfg.Name)
 		row := make([]float64, len(subset))
-		for i, w := range subset {
-			row[i] = wb.RunSingle(cfg, w).IPC() / baseIPC[i]
+		for i := range subset {
+			row[i] = rs[k*len(subset)+i].IPC() / baseIPC[i]
 		}
 		res.Speedup = append(res.Speedup, row)
 		res.GeomeanPct = append(res.GeomeanPct, stats.GeoMeanSpeedup(row))

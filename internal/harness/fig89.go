@@ -22,18 +22,18 @@ type Fig89Result struct {
 }
 
 // Fig89 runs the Baseline-vs-SDC+LP MPKI comparison (Figs. 8 and 9
-// share the same runs).
+// share the same runs). Both configurations' runs are enqueued on the
+// worker pool together and aggregated in subset order.
 func (wb *Workbench) Fig89(subset []WorkloadID) *Fig89Result {
 	if subset == nil {
 		subset = AllWorkloads()
 	}
-	wb.Reporter.Plan(2 * len(subset))
 	res := &Fig89Result{Workloads: subset}
 	base := wb.BaseConfig()
 	sdclp := wb.Profile.BaseConfig(1).WithSDCLP()
-	for _, id := range subset {
-		b := wb.RunSingle(base, id)
-		s := wb.RunSingle(sdclp, id)
+	rs := wb.runAll(append(jobsFor(base, subset), jobsFor(sdclp, subset)...))
+	for i := range subset {
+		b, s := rs[i], rs[len(subset)+i]
 		bi, si := b.Stats.Instructions, s.Stats.Instructions
 		res.BaseL1D = append(res.BaseL1D, b.Stats.L1D.MPKI(bi))
 		res.BaseL2 = append(res.BaseL2, b.Stats.L2.MPKI(bi))

@@ -153,24 +153,40 @@ type Workbench struct {
 	// completed run plus narration). Set it before running experiments.
 	Progress func(msg string)
 	// Reporter tracks sweep progress (runs done/planned, moving-average
-	// run time, ETA). It emits through Progress, so a nil Progress keeps
-	// the workbench silent while counts stay accurate. Replace it to
-	// capture structured progress directly.
+	// run time, ETA, in-flight runs). It emits through Progress, so a
+	// nil Progress keeps the workbench silent while counts stay
+	// accurate. Replace it to capture structured progress directly.
 	Reporter *obs.Progress
+	// Parallelism bounds how many simulations (and the graph builds
+	// they trigger) run concurrently; 0 means all host cores
+	// (GOMAXPROCS). Each simulation stays single-threaded and
+	// deterministic — only scheduling is concurrent — so experiment
+	// output is byte-identical at any setting. Set it before the first
+	// run; cmd/gmreport and cmd/gmsim expose it as -j. Peak memory
+	// grows with the number of concurrently live graphs: use -j 1 (or
+	// DropGraph between experiments) when memory-bound.
+	Parallelism int
 
-	mu      sync.Mutex
-	graphs  map[string]*graph.Graph
-	results map[string]*sim.Result
-	singles map[string]float64 // isolated IPC cache for Fig. 14
+	mu       sync.Mutex
+	sem      chan struct{} // worker pool, sized on first acquire
+	graphs   map[string]*graph.Graph
+	building map[string]*graphLatch // in-flight graph builds
+	results  map[string]*sim.Result
+	running  map[string]*runLatch // in-flight single-core runs
+	singles  map[string]float64   // isolated IPC cache for Fig. 14
+	isolated map[string]*ipcLatch // in-flight isolated runs
 }
 
 // NewWorkbench creates an empty workbench for the profile.
 func NewWorkbench(p Profile) *Workbench {
 	wb := &Workbench{
-		Profile: p,
-		graphs:  make(map[string]*graph.Graph),
-		results: make(map[string]*sim.Result),
-		singles: make(map[string]float64),
+		Profile:  p,
+		graphs:   make(map[string]*graph.Graph),
+		building: make(map[string]*graphLatch),
+		results:  make(map[string]*sim.Result),
+		running:  make(map[string]*runLatch),
+		singles:  make(map[string]float64),
+		isolated: make(map[string]*ipcLatch),
 	}
 	wb.Reporter = obs.NewProgress(func(msg string) {
 		if wb.Progress != nil {
@@ -185,19 +201,37 @@ func (wb *Workbench) log(format string, args ...any) {
 }
 
 // Graph returns (building and caching on first use) the named input.
+// Builds are single-flight: concurrent requests for the same graph
+// share one build, while different graphs build in parallel.
 func (wb *Workbench) Graph(name string) *graph.Graph {
 	wb.mu.Lock()
-	defer wb.mu.Unlock()
 	if g, ok := wb.graphs[name]; ok {
+		wb.mu.Unlock()
 		return g
+	}
+	if l, ok := wb.building[name]; ok {
+		wb.mu.Unlock()
+		<-l.done
+		return l.g
 	}
 	spec, ok := wb.Profile.Graphs[name]
 	if !ok {
+		wb.mu.Unlock()
 		panic("harness: unknown graph " + name)
 	}
+	l := &graphLatch{done: make(chan struct{})}
+	wb.building[name] = l
+	wb.mu.Unlock()
+
 	wb.log("building graph %s (%s profile)", name, wb.Profile.Name)
 	g := spec.Build()
+
+	wb.mu.Lock()
 	wb.graphs[name] = g
+	delete(wb.building, name)
+	wb.mu.Unlock()
+	l.g = g
+	close(l.done)
 	return g
 }
 
@@ -240,9 +274,13 @@ func (wb *Workbench) BaseConfig() sim.Config {
 }
 
 // RunSingle simulates workload id on cfg (with profile windows),
-// memoizing by (config name, workload).
+// memoizing by (config name, workload). It is safe for concurrent use
+// and single-flight: a call for a key already in flight blocks until
+// the one live run finishes and shares its result, so experiments
+// overlapping on runs never race or compute a point twice. Live runs
+// execute inside the workbench's worker pool (see Parallelism).
 func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
-	key := cfg.Name + "|" + id.String()
+	key := runKey(cfg, id)
 	label := fmt.Sprintf("ran %-22s %-14s", id, cfg.Name)
 	wb.mu.Lock()
 	if r, ok := wb.results[key]; ok {
@@ -250,17 +288,30 @@ func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 		wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f", r.IPC()))
 		return r
 	}
+	if l, ok := wb.running[key]; ok {
+		wb.mu.Unlock()
+		<-l.done
+		wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f", l.res.IPC()))
+		return l.res
+	}
+	l := &runLatch{done: make(chan struct{})}
+	wb.running[key] = l
 	wb.mu.Unlock()
 
+	wb.acquire()
 	cfg = wb.configured(cfg)
 	w := wb.Workload(id, 0)
 	finish := wb.Reporter.StartRun(label)
 	res := sim.RunSingleCore(cfg, w)
 	finish(fmt.Sprintf("IPC=%.3f", res.IPC()))
+	wb.release()
 
 	wb.mu.Lock()
 	wb.results[key] = res
+	delete(wb.running, key)
 	wb.mu.Unlock()
+	l.res = res
+	close(l.done)
 	return res
 }
 

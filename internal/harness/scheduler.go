@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"graphmem/internal/graph"
+	"graphmem/internal/sim"
+)
+
+// This file is the parallel run scheduler: a bounded worker pool over
+// which experiments enqueue their full run set up front, with
+// single-flight deduplication on the memo key so two experiments
+// requesting the same (config, workload) point share one in-flight run
+// instead of racing or double-computing. Individual simulations stay
+// single-threaded and deterministic — only the scheduling is
+// concurrent — and every aggregation below consumes results in job
+// order, so experiment output is byte-identical at any parallelism.
+
+// runReq names one single-core simulation job: a machine configuration
+// and a workload, the workbench's memoization unit.
+type runReq struct {
+	cfg sim.Config
+	id  WorkloadID
+}
+
+// runKey is the memoization key of a job.
+func runKey(cfg sim.Config, id WorkloadID) string {
+	return cfg.Name + "|" + id.String()
+}
+
+// jobsFor builds one job per workload on a shared config.
+func jobsFor(cfg sim.Config, ids []WorkloadID) []runReq {
+	jobs := make([]runReq, len(ids))
+	for i, id := range ids {
+		jobs[i] = runReq{cfg: cfg, id: id}
+	}
+	return jobs
+}
+
+// runLatch is the single-flight handle of an in-flight RunSingle: the
+// owner stores the result and closes done; joiners wait and share it.
+type runLatch struct {
+	done chan struct{}
+	res  *sim.Result
+}
+
+// graphLatch is the single-flight handle of an in-flight graph build.
+type graphLatch struct {
+	done chan struct{}
+	g    *graph.Graph
+}
+
+// ipcLatch is the single-flight handle of an in-flight isolated-IPC
+// run (Fig. 14's singles cache).
+type ipcLatch struct {
+	done chan struct{}
+	v    float64
+}
+
+// workers resolves the worker-pool width: Parallelism if set, else all
+// host cores.
+func (wb *Workbench) workers() int {
+	if wb.Parallelism > 0 {
+		return wb.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquire claims one worker-pool slot; every simulation (and the graph
+// builds it triggers) runs inside a slot, bounding host CPU and the
+// peak number of concurrently live graphs. The pool is sized on first
+// use — set Parallelism before running experiments.
+func (wb *Workbench) acquire() {
+	wb.mu.Lock()
+	if wb.sem == nil {
+		wb.sem = make(chan struct{}, wb.workers())
+	}
+	sem := wb.sem
+	wb.mu.Unlock()
+	sem <- struct{}{}
+}
+
+// release returns a slot claimed by acquire.
+func (wb *Workbench) release() { <-wb.sem }
+
+// planJobs registers the jobs that will actually execute with the
+// progress reporter: memoized and already-in-flight keys are excluded
+// (they self-report as cached on completion), as are duplicates within
+// the job list, so done/total and the ETA stay consistent however much
+// of a sweep earlier experiments already computed.
+func (wb *Workbench) planJobs(jobs []runReq) {
+	live := 0
+	seen := make(map[string]bool, len(jobs))
+	wb.mu.Lock()
+	for _, j := range jobs {
+		key := runKey(j.cfg, j.id)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := wb.results[key]; ok {
+			continue
+		}
+		if _, ok := wb.running[key]; ok {
+			continue
+		}
+		live++
+	}
+	wb.mu.Unlock()
+	wb.Reporter.Plan(live)
+}
+
+// runAll plans and executes the jobs across the worker pool and
+// returns their results in job order regardless of completion order,
+// so callers aggregate exactly as the sequential schedule did.
+func (wb *Workbench) runAll(jobs []runReq) []*sim.Result {
+	wb.planJobs(jobs)
+	out := make([]*sim.Result, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = wb.RunSingle(j.cfg, j.id)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// baselineIPCs returns the Baseline IPC of every workload in subset,
+// scheduling anything not yet memoized on the worker pool. It is the
+// shared first phase of every speed-up experiment (Figs. 7, 10-13 and
+// the τ sweep).
+func (wb *Workbench) baselineIPCs(subset []WorkloadID) []float64 {
+	rs := wb.runAll(jobsFor(wb.BaseConfig(), subset))
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.IPC()
+	}
+	return out
+}

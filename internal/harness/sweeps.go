@@ -15,24 +15,25 @@ type Fig10Result struct {
 }
 
 // Fig10 sweeps the SDC size over 8/16/32 KiB with the associativity and
-// latency pairings of Section V-B1.
+// latency pairings of Section V-B1. Baselines come from the shared
+// baselineIPCs job API (usually already memoized by an earlier
+// experiment); the size grid is enqueued on the worker pool at once.
 func (wb *Workbench) Fig10(subset []WorkloadID) *Fig10Result {
 	if subset == nil {
 		subset = AllWorkloads()
 	}
 	res := &Fig10Result{SizesKB: []int{8, 16, 32}}
-	wb.Reporter.Plan(len(subset) * (1 + len(res.SizesKB)))
-	base := wb.BaseConfig()
-	baseIPC := make([]float64, len(subset))
-	for i, w := range subset {
-		baseIPC[i] = wb.RunSingle(base, w).IPC()
-	}
+	baseIPC := wb.baselineIPCs(subset)
+	var jobs []runReq
 	for _, kb := range res.SizesKB {
-		cfg := wb.Profile.BaseConfig(1).WithSDCLP().WithSDCSize(kb)
+		jobs = append(jobs, jobsFor(wb.Profile.BaseConfig(1).WithSDCLP().WithSDCSize(kb), subset)...)
+	}
+	rs := wb.runAll(jobs)
+	for k := range res.SizesKB {
 		var mpki float64
 		ratios := make([]float64, len(subset))
-		for i, w := range subset {
-			r := wb.RunSingle(cfg, w)
+		for i := range subset {
+			r := rs[k*len(subset)+i]
 			mpki += r.Stats.SDC.MPKI(r.Stats.Instructions)
 			ratios[i] = r.IPC() / baseIPC[i]
 		}
@@ -86,17 +87,17 @@ func (wb *Workbench) Fig11(subset []WorkloadID) *SweepResult {
 	}
 	res := &SweepResult{ID: "fig11", Title: "LP fully-associative entry sweep (Fig. 11)", Param: "entries",
 		Note: "paper: 13.7% / 17.9% / 20.7% / 20.7%"}
-	wb.Reporter.Plan(len(subset) * 5)
-	base := wb.BaseConfig()
-	baseIPC := make([]float64, len(subset))
-	for i, w := range subset {
-		baseIPC[i] = wb.RunSingle(base, w).IPC()
+	entrySweep := []int{8, 16, 32, 64}
+	baseIPC := wb.baselineIPCs(subset)
+	var jobs []runReq
+	for _, entries := range entrySweep {
+		jobs = append(jobs, jobsFor(wb.Profile.BaseConfig(1).WithSDCLP().WithLP(entries, entries, 8), subset)...)
 	}
-	for _, entries := range []int{8, 16, 32, 64} {
-		cfg := wb.Profile.BaseConfig(1).WithSDCLP().WithLP(entries, entries, 8)
+	rs := wb.runAll(jobs)
+	for k, entries := range entrySweep {
 		ratios := make([]float64, len(subset))
-		for i, w := range subset {
-			ratios[i] = wb.RunSingle(cfg, w).IPC() / baseIPC[i]
+		for i := range subset {
+			ratios[i] = rs[k*len(subset)+i].IPC() / baseIPC[i]
 		}
 		res.Values = append(res.Values, fmt.Sprint(entries))
 		res.GeomeanPct = append(res.GeomeanPct, stats.GeoMeanSpeedup(ratios))
@@ -112,17 +113,17 @@ func (wb *Workbench) Fig12(subset []WorkloadID) *SweepResult {
 	}
 	res := &SweepResult{ID: "fig12", Title: "LP associativity sweep, 32 entries (Fig. 12)", Param: "ways",
 		Note: "paper: 17.0% / 20.3% / 20.7% / 20.7%; 8-way is near-optimal"}
-	wb.Reporter.Plan(len(subset) * 5)
-	base := wb.BaseConfig()
-	baseIPC := make([]float64, len(subset))
-	for i, w := range subset {
-		baseIPC[i] = wb.RunSingle(base, w).IPC()
+	waySweep := []int{1, 2, 8, 32}
+	baseIPC := wb.baselineIPCs(subset)
+	var jobs []runReq
+	for _, ways := range waySweep {
+		jobs = append(jobs, jobsFor(wb.Profile.BaseConfig(1).WithSDCLP().WithLP(32, ways, 8), subset)...)
 	}
-	for _, ways := range []int{1, 2, 8, 32} {
-		cfg := wb.Profile.BaseConfig(1).WithSDCLP().WithLP(32, ways, 8)
+	rs := wb.runAll(jobs)
+	for k, ways := range waySweep {
 		ratios := make([]float64, len(subset))
-		for i, w := range subset {
-			ratios[i] = wb.RunSingle(cfg, w).IPC() / baseIPC[i]
+		for i := range subset {
+			ratios[i] = rs[k*len(subset)+i].IPC() / baseIPC[i]
 		}
 		res.Values = append(res.Values, fmt.Sprint(ways))
 		res.GeomeanPct = append(res.GeomeanPct, stats.GeoMeanSpeedup(ratios))
@@ -159,26 +160,27 @@ func (wb *Workbench) Tau(subset []WorkloadID, taus []uint64) *TauResult {
 	}
 	reg := RegularWorkloads()
 	res := &TauResult{Taus: taus}
-	wb.Reporter.Plan((len(subset) + len(reg)) * (1 + len(taus)))
-	base := wb.BaseConfig()
-	graphBase := make([]float64, len(subset))
-	for i, w := range subset {
-		graphBase[i] = wb.RunSingle(base, w).IPC()
-	}
-	regBase := make([]float64, len(reg))
-	for i, w := range reg {
-		regBase[i] = wb.RunSingle(base, w).IPC()
-	}
+	// One id list covers both suites so baselines and every τ point
+	// flow through the same job API; slices below split the results.
+	ids := make([]WorkloadID, 0, len(subset)+len(reg))
+	ids = append(append(ids, subset...), reg...)
+	baseIPC := wb.baselineIPCs(ids)
+	graphBase, regBase := baseIPC[:len(subset)], baseIPC[len(subset):]
 	lp := wb.Profile.BaseConfig(1).LP
+	var jobs []runReq
 	for _, tau := range taus {
-		cfg := wb.Profile.BaseConfig(1).WithSDCLP().WithLP(lp.Entries, lp.Ways, tau)
+		jobs = append(jobs, jobsFor(wb.Profile.BaseConfig(1).WithSDCLP().WithLP(lp.Entries, lp.Ways, tau), ids)...)
+	}
+	rs := wb.runAll(jobs)
+	for k := range taus {
+		block := rs[k*len(ids) : (k+1)*len(ids)]
 		g := make([]float64, len(subset))
-		for i, w := range subset {
-			g[i] = wb.RunSingle(cfg, w).IPC() / graphBase[i]
+		for i := range subset {
+			g[i] = block[i].IPC() / graphBase[i]
 		}
 		rg := make([]float64, len(reg))
-		for i, w := range reg {
-			rg[i] = wb.RunSingle(cfg, w).IPC() / regBase[i]
+		for i := range reg {
+			rg[i] = block[len(subset)+i].IPC() / regBase[i]
 		}
 		res.GraphPct = append(res.GraphPct, stats.GeoMeanSpeedup(g))
 		res.RegularPct = append(res.RegularPct, stats.GeoMeanSpeedup(rg))

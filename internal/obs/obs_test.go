@@ -160,7 +160,8 @@ func TestProgressCountsAndETA(t *testing.T) {
 	clock := time.Unix(0, 0)
 	p.now = func() time.Time { return clock }
 
-	p.Plan(4)
+	// Plans cover live runs only; the cache hit self-plans (+1/+1).
+	p.Plan(3)
 	for i := 0; i < 2; i++ {
 		finish := p.StartRun("run")
 		clock = clock.Add(2 * time.Second)
@@ -181,7 +182,7 @@ func TestProgressCountsAndETA(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("got %d lines, want 3: %v", len(lines), lines)
 	}
-	if !strings.Contains(lines[0], "[  1/4]") || !strings.Contains(lines[0], "2s") {
+	if !strings.Contains(lines[0], "[  1/3]") || !strings.Contains(lines[0], "2s") {
 		t.Errorf("first line = %q", lines[0])
 	}
 	if !strings.Contains(lines[1], "eta") {
@@ -189,6 +190,42 @@ func TestProgressCountsAndETA(t *testing.T) {
 	}
 	if !strings.Contains(lines[2], "(cached)") {
 		t.Errorf("cached line = %q", lines[2])
+	}
+}
+
+func TestProgressParallelETAAndInFlight(t *testing.T) {
+	var lines []string
+	p := NewProgress(func(s string) { lines = append(lines, s) })
+	clock := time.Unix(0, 0)
+	p.now = func() time.Time { return clock }
+
+	p.Plan(4)
+	f1 := p.StartRun("a")
+	f2 := p.StartRun("b")
+	if got := p.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	clock = clock.Add(2 * time.Second)
+	f1("IPC=1.0")
+
+	// One of two workers finished: 3 runs remain at 2s average across a
+	// peak concurrency of 2 -> 3s of wall clock, and 1 run in flight.
+	if _, _, _, eta := p.Snapshot(); eta != 3*time.Second {
+		t.Errorf("eta = %v, want 3s (3 remaining x 2s / 2 workers)", eta)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "1 in flight") {
+		t.Errorf("first line should report the in-flight run: %v", lines)
+	}
+
+	f2("IPC=1.0")
+	if got := p.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after all finishes, want 0", got)
+	}
+	if strings.Contains(lines[1], "in flight") {
+		t.Errorf("idle reporter should omit the in-flight gauge: %q", lines[1])
+	}
+	if _, _, _, eta := p.Snapshot(); eta != 2*time.Second {
+		t.Errorf("eta = %v, want 2s (2 remaining x 2s / 2 workers)", eta)
 	}
 }
 

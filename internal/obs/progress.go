@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -10,16 +11,33 @@ import (
 // run time is computed over.
 const progressWindow = 16
 
-// Progress is the sweep progress reporter: experiments plan their run
-// counts up front, every simulation reports start/finish, and each
-// finish emits one line with runs completed/total, the moving-average
-// run time and the estimated time remaining. Cached (memoized) results
-// count toward completion but do not pollute the run-time average.
-// All methods are safe for concurrent use.
+// Progress is the sweep progress reporter: experiments plan their live
+// (not-yet-memoized) run counts up front, every simulation reports
+// start/finish, and each finish emits one line with runs
+// completed/total, the moving-average run time, the estimated time
+// remaining and — under a parallel scheduler — the number of runs
+// still in flight.
+//
+// Accounting protocol: Plan covers only runs that will actually
+// execute; a cache hit self-plans by counting toward both done and
+// total, so done/total stays consistent however much of a sweep an
+// earlier experiment already memoized, and the ETA covers live work
+// only. The ETA divides by the observed peak run concurrency, so it is
+// wall-clock-correct under a worker pool and degrades to the
+// sequential estimate at parallelism 1.
+//
+// All methods are safe for concurrent use. Lines are emitted while the
+// reporter's lock is held so concurrent finishes cannot interleave;
+// the out sink must therefore not call back into the reporter.
 type Progress struct {
 	mu  sync.Mutex
 	out func(string)
 	now func() time.Time
+
+	// inflight/peak are the current and high-water number of started
+	// but unfinished runs (atomic so StartRun stays lock-free).
+	inflight atomic.Int32
+	peak     atomic.Int32
 
 	total  int
 	done   int
@@ -33,8 +51,9 @@ func NewProgress(out func(string)) *Progress {
 	return &Progress{out: out, now: time.Now}
 }
 
-// Plan registers n additional upcoming runs. Experiments call it before
-// their loops so ETAs cover the whole sweep, not just the current loop.
+// Plan registers n additional upcoming live runs. Experiments call it
+// before their loops — with runs already memoized excluded — so ETAs
+// cover the whole remaining sweep, not just the current loop.
 func (p *Progress) Plan(n int) {
 	p.mu.Lock()
 	p.total += n
@@ -44,21 +63,26 @@ func (p *Progress) Plan(n int) {
 // Log emits a pass-through narration line (graph building etc.).
 func (p *Progress) Log(msg string) {
 	p.mu.Lock()
-	out := p.out
+	p.emitLocked(msg)
 	p.mu.Unlock()
-	if out != nil {
-		out(msg)
-	}
 }
 
 // StartRun marks one run as started and returns its finish func; call
 // the returned func with a short result detail ("IPC=0.453") when the
 // run completes. The finish func updates the moving average and emits
-// the progress line.
+// the progress line. Runs may start and finish concurrently.
 func (p *Progress) StartRun(label string) func(detail string) {
 	start := p.now()
+	n := p.inflight.Add(1)
+	for {
+		old := p.peak.Load()
+		if n <= old || p.peak.CompareAndSwap(old, n) {
+			break
+		}
+	}
 	return func(detail string) {
 		d := p.now().Sub(start)
+		p.inflight.Add(-1)
 		p.mu.Lock()
 		p.done++
 		p.window[p.wi] = d
@@ -66,27 +90,25 @@ func (p *Progress) StartRun(label string) func(detail string) {
 		if p.wn < progressWindow {
 			p.wn++
 		}
-		line := p.lineLocked(label, detail, d, false)
-		out := p.out
+		p.emitLocked(p.lineLocked(label, detail, d, false))
 		p.mu.Unlock()
-		if out != nil {
-			out(line)
-		}
 	}
 }
 
-// Cached marks one run as satisfied from the memo cache: it counts
-// toward completion instantly and leaves the run-time average alone.
+// Cached marks one run as satisfied from the memo cache (or joined
+// onto an identical in-flight run): it counts toward done and total —
+// cache hits are never planned — and leaves the run-time average
+// alone.
 func (p *Progress) Cached(label, detail string) {
 	p.mu.Lock()
 	p.done++
-	line := p.lineLocked(label, detail, 0, true)
-	out := p.out
+	p.total++
+	p.emitLocked(p.lineLocked(label, detail, 0, true))
 	p.mu.Unlock()
-	if out != nil {
-		out(line)
-	}
 }
+
+// InFlight returns the number of currently started but unfinished runs.
+func (p *Progress) InFlight() int { return int(p.inflight.Load()) }
 
 // Snapshot returns completed/total counts and the current moving
 // average and ETA (both zero until a live run finished or when no runs
@@ -94,12 +116,7 @@ func (p *Progress) Cached(label, detail string) {
 func (p *Progress) Snapshot() (done, total int, avg, eta time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	done, total = p.done, p.total
-	avg = p.avgLocked()
-	if remaining := total - done; remaining > 0 {
-		eta = avg * time.Duration(remaining)
-	}
-	return done, total, avg, eta
+	return p.done, p.total, p.avgLocked(), p.etaLocked()
 }
 
 func (p *Progress) avgLocked() time.Duration {
@@ -111,6 +128,28 @@ func (p *Progress) avgLocked() time.Duration {
 		sum += p.window[i]
 	}
 	return sum / time.Duration(p.wn)
+}
+
+// etaLocked estimates the remaining wall clock: remaining runs times
+// the per-run moving average, divided by the peak observed run
+// concurrency (the worker-pool width once the pool has filled).
+func (p *Progress) etaLocked() time.Duration {
+	avg := p.avgLocked()
+	remaining := p.total - p.done
+	if avg <= 0 || remaining <= 0 {
+		return 0
+	}
+	workers := int(p.peak.Load())
+	if workers < 1 {
+		workers = 1
+	}
+	return avg * time.Duration(remaining) / time.Duration(workers)
+}
+
+func (p *Progress) emitLocked(line string) {
+	if p.out != nil {
+		p.out(line)
+	}
 }
 
 func (p *Progress) lineLocked(label, detail string, d time.Duration, cached bool) string {
@@ -128,9 +167,12 @@ func (p *Progress) lineLocked(label, detail string, d time.Duration, cached bool
 	line += fmt.Sprintf(" | %s", fmtDuration(d))
 	if avg := p.avgLocked(); avg > 0 {
 		line += fmt.Sprintf(" | avg %s", fmtDuration(avg))
-		if remaining := p.total - p.done; remaining > 0 {
-			line += fmt.Sprintf(" | eta %s", fmtDuration(avg*time.Duration(remaining)))
+		if eta := p.etaLocked(); eta > 0 {
+			line += fmt.Sprintf(" | eta %s", fmtDuration(eta))
 		}
+	}
+	if running := p.inflight.Load(); running > 0 {
+		line += fmt.Sprintf(" | %d in flight", running)
 	}
 	return line
 }
