@@ -41,6 +41,7 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical at any -j")
 	outDir := flag.String("out", "", "also write each table as <dir>/<id>.txt and .csv plus a sweep manifest.json")
 	quiet := flag.Bool("q", false, "suppress progress logging")
+	checkFlag := flag.String("check", "off", "differential checking: off|oracle|full (exit 1 on any violation)")
 	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -65,6 +66,12 @@ func main() {
 	}
 	wb := graphmem.NewWorkbench(profile)
 	wb.Parallelism = *jobs
+	checkLevel, err := graphmem.ParseCheckLevel(*checkFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmreport:", err)
+		os.Exit(1)
+	}
+	wb.CheckLevel = checkLevel
 	if !*quiet {
 		// All progress (run/cached lines with done/total and ETA,
 		// narration) flows through the workbench's obs.Progress reporter;
@@ -110,6 +117,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gmreport:", err)
 			os.Exit(1)
 		}
+	}
+	if checkLevel != graphmem.CheckOff {
+		runs, violations, details := wb.CheckOutcome()
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "gmreport: differential checker found %d violation(s) across %d checked runs:\n",
+				violations, runs)
+			for _, v := range details {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gmreport: differential checker clean across %d checked runs (level %s)\n",
+			runs, checkLevel)
 	}
 }
 

@@ -58,6 +58,7 @@ func main() {
 	warmup := flag.Int64("warmup", 0, "override warm-up instructions")
 	measure := flag.Int64("measure", 0, "override measured instructions")
 	epoch := flag.Int64("epoch", 0, "sample telemetry every N retired instructions (0 = off)")
+	checkFlag := flag.String("check", "off", "differential checking: off|oracle|full (exit 1 on any violation)")
 	jobs := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); a single run uses one slot")
 	jsonOut := flag.Bool("json", false, "emit a structured run manifest on stdout instead of text")
 	verbose := flag.Bool("v", false, "log run progress")
@@ -91,6 +92,12 @@ func main() {
 	if *verbose {
 		wb.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}
+	checkLevel, err := graphmem.ParseCheckLevel(*checkFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmsim:", err)
+		os.Exit(1)
+	}
+	wb.CheckLevel = checkLevel
 
 	cfg, err := configByName(profile.BaseConfig(1), *configName)
 	if err != nil {
@@ -104,6 +111,13 @@ func main() {
 	start := time.Now()
 	res := wb.RunSingle(cfg, id)
 	s := &res.Stats
+	checkFailed := checkLevel != graphmem.CheckOff && res.Check.Violations > 0
+	if checkFailed {
+		fmt.Fprintf(os.Stderr, "gmsim: differential checker found %d violation(s):\n", res.Check.Violations)
+		for _, v := range res.Check.Details {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+	}
 
 	if *jsonOut {
 		m := graphmem.NewManifest("gmsim")
@@ -114,8 +128,14 @@ func main() {
 		m.Final = res.Stats
 		m.Derived = graphmem.DeriveMetrics(&res.Stats)
 		m.Epochs = res.Epochs
+		if checkLevel != graphmem.CheckOff {
+			m.Check = &res.Check
+		}
 		if err := m.Finalize(start).WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "gmsim:", err)
+			os.Exit(1)
+		}
+		if checkFailed {
 			os.Exit(1)
 		}
 		return
@@ -143,5 +163,13 @@ func main() {
 	if len(res.Epochs) > 0 {
 		fmt.Printf("epochs      %d samples every %d instructions (use -json to export the series)\n",
 			len(res.Epochs), *epoch)
+	}
+	if checkLevel != graphmem.CheckOff {
+		fmt.Printf("check       level %s  loads %d  stores %d  sweeps %d  unknown %d  violations %d\n",
+			res.Check.Level, res.Check.LoadsChecked, res.Check.StoresTracked,
+			res.Check.Sweeps, res.Check.UnknownVersions, res.Check.Violations)
+	}
+	if checkFailed {
+		os.Exit(1)
 	}
 }

@@ -27,6 +27,7 @@ package graphmem
 import (
 	"flag"
 
+	"graphmem/internal/check"
 	corepkg "graphmem/internal/core"
 	"graphmem/internal/graph"
 	"graphmem/internal/harness"
@@ -78,7 +79,27 @@ type (
 	// ProfilingFlags holds the shared -cpuprofile/-memprofile/-trace
 	// command-line profiling options.
 	ProfilingFlags = obs.ProfileFlags
+	// CheckLevel selects how much differential checking a run performs
+	// (CheckOff, CheckOracle, CheckFull).
+	CheckLevel = check.Level
+	// CheckSummary is the checker outcome attached to checked results.
+	CheckSummary = check.Summary
+	// CheckViolation is one detailed checker finding with provenance.
+	CheckViolation = check.Violation
 )
+
+// Differential-checking levels (Config.CheckLevel / Workbench.CheckLevel).
+const (
+	// CheckOff disables checking; runs pay no overhead.
+	CheckOff = check.Off
+	// CheckOracle verifies every load against the architectural shadow.
+	CheckOracle = check.OracleOnly
+	// CheckFull adds periodic structural invariant sweeps to the oracle.
+	CheckFull = check.Full
+)
+
+// ParseCheckLevel parses a -check flag value ("off", "oracle", "full").
+func ParseCheckLevel(s string) (CheckLevel, error) { return check.ParseLevel(s) }
 
 // TableI returns the paper's baseline machine configuration for the
 // given core count.

@@ -66,9 +66,17 @@ type Line struct {
 	// RRPV is the re-reference prediction value maintained by the
 	// SRRIP policy (unused under other policies).
 	RRPV uint8
+	// Ver is the architectural version stamp maintained by the
+	// differential checker (internal/check); 0 means unknown. The cache
+	// itself never reads it — internal/sim stamps it via SetVer in
+	// checked runs only, so unchecked runs pay nothing.
+	Ver uint64
 	// lru is the recency stamp maintained by the cache.
 	lru int64
 }
+
+// Recency returns the line's LRU stamp (for invariant checks).
+func (ln *Line) Recency() int64 { return ln.lru }
 
 // Cache is one set-associative cache structure.
 type Cache struct {
@@ -221,6 +229,8 @@ type Victim struct {
 	Dirty bool
 	// Used carries the distillation use mask of the evicted line.
 	Used uint16
+	// Ver carries the evicted line's checker version stamp.
+	Ver uint64
 }
 
 // Fill inserts blk, returning the evicted victim (Victim.Valid=false if
@@ -258,7 +268,7 @@ func (c *Cache) Fill(blk mem.BlockAddr, addr mem.Addr, size uint8, write, prefet
 	if way < 0 {
 		way = c.policy.Victim(c, blk, set[:lastLOC])
 		ln := &set[way]
-		v = Victim{Valid: true, Blk: ln.Blk, Dirty: ln.Dirty, Used: ln.Used}
+		v = Victim{Valid: true, Blk: ln.Blk, Dirty: ln.Dirty, Used: ln.Used, Ver: ln.Ver}
 		ln.Valid = false
 		if c.cfg.Distill {
 			// Line distillation: retain the victim's used words in the
@@ -313,6 +323,7 @@ func (c *Cache) distillInsert(si int, v Victim) {
 		Dirty: v.Dirty,
 		WOC:   true,
 		Used:  v.Used,
+		Ver:   v.Ver,
 		lru:   c.lruClock,
 	}
 }
@@ -333,6 +344,34 @@ func (c *Cache) Invalidate(blk mem.BlockAddr) (present, dirty bool) {
 
 // MarkPrefetchFill counts a prefetch fill in the stats.
 func (c *Cache) MarkPrefetchFill() { c.Stats.Prefetches++ }
+
+// VerOf returns the checker version stamp of blk's copy (0 when absent
+// or never stamped). Like Probe it touches no recency or stats state,
+// so checked and unchecked runs stay counter-identical.
+func (c *Cache) VerOf(blk mem.BlockAddr) uint64 {
+	set := c.sets[c.setIndex(blk)]
+	for w := range set {
+		if set[w].Valid && set[w].Blk == blk {
+			return set[w].Ver
+		}
+	}
+	return 0
+}
+
+// SetVer stamps every valid copy of blk with the checker version. The
+// stamp is the only state it touches.
+func (c *Cache) SetVer(blk mem.BlockAddr, ver uint64) {
+	set := c.sets[c.setIndex(blk)]
+	for w := range set {
+		if set[w].Valid && set[w].Blk == blk {
+			set[w].Ver = ver
+		}
+	}
+}
+
+// Clock returns the cache's recency clock (for invariant checks: every
+// line's Recency must be <= Clock, and Clock must never decrease).
+func (c *Cache) Clock() int64 { return c.lruClock }
 
 // Occupancy returns the number of valid lines (full and WOC).
 func (c *Cache) Occupancy() int {

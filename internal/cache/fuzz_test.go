@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"math"
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// Differential fuzzing for the set-associative cache and the MSHR file,
+// each against a deliberately naive reference model. The fuzz input is
+// an op stream; op streams stay within the legal-usage envelope the
+// simulator guarantees (monotonic time, Complete only after Allocate).
+
+// refLine is one entry of the reference model: per set, an ordered
+// slice with the most recently stamped line last. That ordering is
+// exactly the cache's LRU-stamp ordering, independent of way indices.
+type refLine struct {
+	blk   mem.BlockAddr
+	dirty bool
+}
+
+type refCache struct {
+	sets [][]refLine
+	ways int
+}
+
+func newRefCache(nsets, ways int) *refCache {
+	return &refCache{sets: make([][]refLine, nsets), ways: ways}
+}
+
+func (r *refCache) set(blk mem.BlockAddr) int { return int(uint64(blk) % uint64(len(r.sets))) }
+
+func (r *refCache) find(blk mem.BlockAddr) (setIdx, pos int) {
+	si := r.set(blk)
+	for i, ln := range r.sets[si] {
+		if ln.blk == blk {
+			return si, i
+		}
+	}
+	return si, -1
+}
+
+// lookup mirrors Cache.Lookup: hit moves to MRU and may dirty; miss
+// changes nothing.
+func (r *refCache) lookup(blk mem.BlockAddr, write bool) bool {
+	si, i := r.find(blk)
+	if i < 0 {
+		return false
+	}
+	ln := r.sets[si][i]
+	ln.dirty = ln.dirty || write
+	r.sets[si] = append(append(r.sets[si][:i], r.sets[si][i+1:]...), ln)
+	return true
+}
+
+// fill mirrors Cache.Fill: a refill only re-dirties; otherwise insert
+// at MRU, evicting the LRU line of a full set.
+func (r *refCache) fill(blk mem.BlockAddr, write bool) (victim refLine, evicted bool) {
+	si, i := r.find(blk)
+	if i >= 0 {
+		r.sets[si][i].dirty = r.sets[si][i].dirty || write
+		return refLine{}, false
+	}
+	if len(r.sets[si]) >= r.ways {
+		victim, evicted = r.sets[si][0], true
+		r.sets[si] = r.sets[si][1:]
+	}
+	r.sets[si] = append(r.sets[si], refLine{blk: blk, dirty: write})
+	return victim, evicted
+}
+
+func (r *refCache) invalidate(blk mem.BlockAddr) (present, dirty bool) {
+	si, i := r.find(blk)
+	if i < 0 {
+		return false, false
+	}
+	present, dirty = true, r.sets[si][i].dirty
+	r.sets[si] = append(r.sets[si][:i], r.sets[si][i+1:]...)
+	return present, dirty
+}
+
+func (r *refCache) probe(blk mem.BlockAddr) (present, dirty bool) {
+	si, i := r.find(blk)
+	if i < 0 {
+		return false, false
+	}
+	return true, r.sets[si][i].dirty
+}
+
+func (r *refCache) occupancy() int {
+	n := 0
+	for _, s := range r.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// FuzzCacheVsReference drives a small LRU cache (4 sets x 2 ways, 32
+// competing blocks) and the reference model with the same op stream and
+// requires identical hit/miss outcomes, victims, dirtiness and
+// occupancy at every step.
+func FuzzCacheVsReference(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x21, 0x02, 0x42, 0x03, 0x63, 0x04})
+	f.Add([]byte("\x02\x01\x02\x09\x02\x11\x02\x19\x00\x01\x04\x09\x03\x01\x02\x01"))
+	f.Add([]byte{0x01, 0x05, 0x02, 0x05, 0x04, 0x05, 0x03, 0x05, 0x02, 0x0d, 0x02, 0x15, 0x02, 0x1d, 0x00, 0x05})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nsets, ways, nblocks = 4, 2, 32
+		c := New(Config{Name: "F", SizeBytes: nsets * ways * mem.BlockSize, Ways: ways, Latency: 2})
+		ref := newRefCache(nsets, ways)
+		now := int64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 5
+			blk := mem.BlockAddr(data[i+1] % nblocks)
+			addr := blk.Addr()
+			now++
+			switch op {
+			case 0, 1: // lookup read / write
+				write := op == 1
+				res := c.Lookup(blk, addr, 8, write, false, now)
+				if want := ref.lookup(blk, write); res.Hit != want {
+					t.Fatalf("op %d: Lookup(%d, write=%v) hit=%v, reference says %v", i, blk, write, res.Hit, want)
+				}
+				if res.Hit && res.ReadyAt < now+c.Latency() {
+					t.Fatalf("op %d: hit ready at %d, before now+latency %d", i, res.ReadyAt, now+c.Latency())
+				}
+			case 2, 3: // fill clean / write-allocate
+				write := op == 3
+				v := c.Fill(blk, addr, 8, write, false, now)
+				want, evicted := ref.fill(blk, write)
+				if v.Valid != evicted {
+					t.Fatalf("op %d: Fill(%d) evicted=%v, reference says %v", i, blk, v.Valid, evicted)
+				}
+				if evicted && (v.Blk != want.blk || v.Dirty != want.dirty) {
+					t.Fatalf("op %d: Fill(%d) victim {%d dirty=%v}, reference says {%d dirty=%v}",
+						i, blk, v.Blk, v.Dirty, want.blk, want.dirty)
+				}
+			case 4:
+				p, d := c.Invalidate(blk)
+				wp, wd := ref.invalidate(blk)
+				if p != wp || d != wd {
+					t.Fatalf("op %d: Invalidate(%d) = (%v,%v), reference says (%v,%v)", i, blk, p, d, wp, wd)
+				}
+			}
+			if got, want := c.Occupancy(), ref.occupancy(); got != want {
+				t.Fatalf("op %d: occupancy %d, reference says %d", i, got, want)
+			}
+		}
+		// Final full-state comparison through the stat-free probes.
+		for b := mem.BlockAddr(0); b < nblocks; b++ {
+			p, d := c.ProbeDirty(b)
+			wp, wd := ref.probe(b)
+			if p != wp || d != wd {
+				t.Fatalf("final state: block %d = (%v,%v), reference says (%v,%v)", b, p, d, wp, wd)
+			}
+		}
+	})
+}
+
+// FuzzMSHR drives an MSHR file and a naive map-based mirror with the
+// same legal op stream (monotonic time, Complete only while pending)
+// and requires identical allocate-stall times, merge outcomes and
+// occupancy. Len must never exceed Capacity.
+func FuzzMSHR(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x01, 0x45, 0x02, 0x13, 0x24})
+	f.Add([]byte("\x01\x01\x01\x11\x01\x21\x01\x31\x02\x01\x03\x11"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const capacity = 2
+		m := NewMSHR(capacity)
+		ref := map[mem.BlockAddr]int64{}
+		now, lastReady := int64(0), int64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 4
+			blk := mem.BlockAddr(data[i+1] % 8)
+			now += int64(data[i]>>4) + 1
+			switch op {
+			case 0: // allocate + immediate complete, the simulator's pattern
+				// Mirror Allocate: purge expired, then free the earliest
+				// slot(s) while full, stalling to their fill times.
+				for b, r := range ref {
+					if r <= now {
+						delete(ref, b)
+					}
+				}
+				start := now
+				for len(ref) >= capacity {
+					earliest, victim := int64(math.MaxInt64), mem.BlockAddr(0)
+					for b, r := range ref {
+						if r < earliest {
+							earliest, victim = r, b
+						}
+					}
+					delete(ref, victim)
+					if earliest > start {
+						start = earliest
+					}
+				}
+				got := m.Allocate(blk, now)
+				if got != start {
+					t.Fatalf("op %d: Allocate(%d, %d) = %d, reference says %d", i, blk, now, got, start)
+				}
+				// Strictly increasing fill times keep the earliest-victim
+				// choice unambiguous (a ready-time tie would let the model
+				// and the mirror free different blocks, both legally).
+				ready := start + 10 + int64(data[i+1])
+				if ready <= lastReady {
+					ready = lastReady + 1
+				}
+				lastReady = ready
+				m.Complete(blk, ready)
+				ref[blk] = ready
+			case 1: // merge lookup
+				ready, inflight := m.Lookup(blk, now)
+				wantReady, wantIn := ref[blk], false
+				if r, ok := ref[blk]; ok && r > now {
+					wantIn = true
+				} else if ok {
+					delete(ref, blk) // expired entries purge on lookup
+					wantReady = 0
+				}
+				if inflight != wantIn || (inflight && ready != wantReady) {
+					t.Fatalf("op %d: Lookup(%d, %d) = (%d,%v), reference says (%d,%v)",
+						i, blk, now, ready, inflight, wantReady, wantIn)
+				}
+			case 2:
+				m.Abandon(blk)
+				delete(ref, blk)
+			case 3:
+				if m.Pending(blk) != (func() bool { _, ok := ref[blk]; return ok }()) {
+					t.Fatalf("op %d: Pending(%d) disagrees with reference", i, blk)
+				}
+			}
+			if m.Len() > capacity {
+				t.Fatalf("op %d: MSHR holds %d entries, capacity %d", i, m.Len(), capacity)
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("op %d: MSHR Len %d, reference says %d", i, m.Len(), len(ref))
+			}
+		}
+	})
+}

@@ -25,6 +25,19 @@ func NewMSHR(capacity int) *MSHR {
 // Capacity returns the number of registers.
 func (m *MSHR) Capacity() int { return m.cap }
 
+// Len returns the number of allocated entries, including ones whose
+// fills have completed but have not been purged yet. Unlike Outstanding
+// it never mutates state, so invariant sweeps can call it freely;
+// Allocate guarantees Len never exceeds Capacity.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// Pending reports whether blk currently occupies a register, without
+// the purge side effect of Lookup.
+func (m *MSHR) Pending(blk mem.BlockAddr) bool {
+	_, ok := m.entries[blk]
+	return ok
+}
+
 // purge drops entries whose fills completed at or before now.
 func (m *MSHR) purge(now int64) {
 	for blk, ready := range m.entries {

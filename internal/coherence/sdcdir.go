@@ -135,6 +135,17 @@ func (d *SDCDir) Lookup(blk mem.BlockAddr) (sharers uint64, state State, ok bool
 	return 0, Invalid, false
 }
 
+// Probe returns the sharer bit vector and state for blk without
+// touching recency or the Lookups/Hits stats — the invariant checker's
+// window into the directory (Lookup would perturb LRU state and break
+// the checked-vs-unchecked counter identity).
+func (d *SDCDir) Probe(blk mem.BlockAddr) (sharers uint64, state State, ok bool) {
+	if e := d.find(blk); e != nil {
+		return e.sharers, e.state, true
+	}
+	return 0, Invalid, false
+}
+
 // AddSharer records that core's SDC now holds blk. exclusiveWrite marks
 // a store: the entry goes to Modified with core as the sole sharer (the
 // caller must have invalidated other copies). Reads join the sharer set

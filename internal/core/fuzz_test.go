@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// lpRefEntry mirrors one LP table entry.
+type lpRefEntry struct {
+	tag  uint64
+	addr mem.BlockAddr
+	sAcc uint64
+}
+
+// FuzzLPVsReference drives the Large Predictor's update path against a
+// per-set LRU-list mirror of the Section III-B semantics: classify on
+// the entry's current accumulator, then s_acc <- min(s_acc+|stride|,
+// 2^14-1) >> 1, with allocation (s_acc = 0, predict friendly) on a
+// table miss. Predict must agree with the classification
+// PredictAndUpdate makes on the same access, and the accumulator must
+// match the mirror after every access.
+func FuzzLPVsReference(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x00, 0x00, 0x40, 0x00, 0x00, 0x81, 0x01, 0x00, 0x02, 0x02})
+	f.Add([]byte("\x01\x00\x00\x01\x10\x00\x01\x20\x00\x01\x30\x00"))
+	f.Add([]byte{0x07, 0xff, 0xff, 0x07, 0x00, 0x00, 0x07, 0xff, 0xff, 0x07, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := LPConfig{Entries: 4, Ways: 2, Tau: 4}
+		lp := NewLP(cfg)
+		nsets := cfg.Entries / cfg.Ways
+		setBits := uint(0)
+		for (1 << setBits) < nsets {
+			setBits++
+		}
+		// ref[set] holds entries most recently touched last.
+		ref := make([][]lpRefEntry, nsets)
+
+		for i := 0; i+2 < len(data); i += 3 {
+			pc := uint64(data[i]%32) * 8 // 8-byte aligned PCs, as pcIndex assumes
+			blk := mem.BlockAddr(uint64(data[i+1]) | uint64(data[i+2])<<8)
+
+			p := pc >> 3
+			si := int(p & uint64(nsets-1))
+			tag := p >> setBits
+			set := ref[si]
+			pos := -1
+			for j := range set {
+				if set[j].tag == tag {
+					pos = j
+					break
+				}
+			}
+			wantAverse := pos >= 0 && set[pos].sAcc >= cfg.Tau
+
+			if got := lp.Predict(pc); got != wantAverse {
+				t.Fatalf("op %d: Predict(%#x) = %v, reference says %v", i, pc, got, wantAverse)
+			}
+			if got := lp.PredictAndUpdate(pc, blk); got != wantAverse {
+				t.Fatalf("op %d: PredictAndUpdate(%#x, %d) = %v, reference says %v", i, pc, blk, got, wantAverse)
+			}
+
+			if pos >= 0 {
+				e := set[pos]
+				var s uint64
+				if blk >= e.addr {
+					s = uint64(blk - e.addr)
+				} else {
+					s = uint64(e.addr - blk)
+				}
+				acc := e.sAcc + s
+				if acc > sAccMax {
+					acc = sAccMax
+				}
+				e.sAcc = acc >> 1
+				e.addr = blk
+				ref[si] = append(append(set[:pos], set[pos+1:]...), e)
+			} else {
+				if len(set) >= cfg.Ways {
+					set = set[1:] // LRU eviction
+				}
+				ref[si] = append(set, lpRefEntry{tag: tag, addr: blk})
+			}
+
+			want := ref[si][len(ref[si])-1].sAcc
+			got, ok := lp.SAcc(pc)
+			if !ok || got != want {
+				t.Fatalf("op %d: SAcc(%#x) = (%d,%v), reference says %d", i, pc, got, ok, want)
+			}
+		}
+	})
+}

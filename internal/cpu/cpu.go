@@ -167,6 +167,12 @@ func (c *Core) Access(r trace.Record) {
 		c.Stores++
 		// Stores complete into the store buffer immediately; the
 		// memory system is updated in the background at dispatch time.
+		// The differential checker (internal/check) relies on this
+		// absorb-at-dispatch ordering: the architectural shadow version
+		// of a block is bumped inside c.mem when the store is absorbed
+		// by a cache level, so program order between a store and the
+		// loads that follow it in the trace is exactly the order of
+		// c.mem calls — no separate retirement-time commit exists.
 		var issued int64
 		c.step(func(d int64) int64 {
 			issued = d

@@ -1,0 +1,82 @@
+package dram
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// FuzzDRAMTiming drives one Table I channel with an arbitrary access
+// stream and checks it against an independent row-state mirror plus the
+// model's timing contracts:
+//
+//   - every read completes no earlier than now + MinLatency();
+//   - writes are absorbed at now (posted write buffer);
+//   - the hit/miss/conflict classification of every read matches a
+//     reference that tracks only per-bank open rows (recomputing the
+//     address mapping from the config);
+//   - counter identities: RowHits+RowMisses == Reads, RowConflicts <=
+//     RowMisses, BusyCycles == Reads * burst.
+func FuzzDRAMTiming(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x40, 0x00, 0x02, 0x80, 0x00, 0x04, 0x00, 0x20, 0x07})
+	f.Add([]byte("\x00\x00\x00\x01\x00\x00\x02\x00\x01\x03\x00\x00"))
+	f.Add([]byte{0xff, 0xff, 0x09, 0x00, 0x00, 0x06, 0xff, 0xff, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := DefaultConfig()
+		ch := NewChannel(cfg)
+		burst := ch.cpuCycles(cfg.BurstCycles)
+
+		// Reference address mapping and row state, derived from the
+		// config alone (row:bank:column order, like mapAddr).
+		blocksPerRow := cfg.RowBytes >> mem.BlockBits
+		openRow := make([]int64, cfg.Banks)
+		for i := range openRow {
+			openRow[i] = -1
+		}
+		var wantHits, wantMisses, wantConflicts int64
+
+		now := int64(0)
+		for i := 0; i+2 < len(data); i += 3 {
+			blk := mem.BlockAddr(uint64(data[i]) | uint64(data[i+1])<<8)
+			write := data[i+2]&1 != 0
+			now += int64(data[i+2] >> 1)
+
+			col := uint64(blk) / blocksPerRow
+			bankIdx := int(col % uint64(cfg.Banks))
+			row := int64(col / uint64(cfg.Banks))
+
+			done := ch.Access(blk, write, now)
+			if write {
+				if done != now {
+					t.Fatalf("op %d: posted write completed at %d, issued at %d", i, done, now)
+				}
+			} else {
+				if done < now+ch.MinLatency() {
+					t.Fatalf("op %d: read done at %d, floor is %d", i, done, now+ch.MinLatency())
+				}
+				switch {
+				case openRow[bankIdx] == row:
+					wantHits++
+				case openRow[bankIdx] < 0:
+					wantMisses++
+				default:
+					wantMisses++
+					wantConflicts++
+				}
+			}
+			openRow[bankIdx] = row
+
+			s := ch.Stats
+			if s.RowHits != wantHits || s.RowMisses != wantMisses || s.RowConflicts != wantConflicts {
+				t.Fatalf("op %d: classification {hits %d misses %d conflicts %d}, reference says {%d %d %d}",
+					i, s.RowHits, s.RowMisses, s.RowConflicts, wantHits, wantMisses, wantConflicts)
+			}
+			if s.RowHits+s.RowMisses != s.Reads {
+				t.Fatalf("op %d: RowHits+RowMisses = %d, Reads = %d", i, s.RowHits+s.RowMisses, s.Reads)
+			}
+			if s.BusyCycles != s.Reads*burst {
+				t.Fatalf("op %d: BusyCycles %d, want Reads*burst = %d", i, s.BusyCycles, s.Reads*burst)
+			}
+		}
+	})
+}

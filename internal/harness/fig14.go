@@ -71,6 +71,7 @@ func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 	wb.acquire()
 	cfg := wb.Profile.BaseConfig(mixCores).
 		WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
+	cfg.CheckLevel = wb.CheckLevel
 	ws := make([]sim.Workload, mixCores)
 	ws[0] = wb.Workload(id, 0)
 	finish := wb.Reporter.StartRun(label)
@@ -78,6 +79,7 @@ func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 	v := res.PerCore[0].IPC()
 	finish(fmt.Sprintf("IPC=%.3f", v))
 	wb.release()
+	wb.recordCheck(res.Check)
 
 	wb.mu.Lock()
 	wb.singles[key] = v
@@ -93,6 +95,7 @@ func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 // (config, mix) point is simulated exactly once per Fig14 call.
 func (wb *Workbench) runMix(cfg sim.Config, mix []WorkloadID) []float64 {
 	cfg = cfg.WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
+	cfg.CheckLevel = wb.CheckLevel
 	wb.acquire()
 	defer wb.release()
 	ws := make([]sim.Workload, mixCores)
@@ -108,6 +111,7 @@ func (wb *Workbench) runMix(cfg sim.Config, mix []WorkloadID) []float64 {
 	res := sim.RunMultiCore(cfg, ws)
 	ipcs := res.IPCs()
 	finish(fmt.Sprintf("IPCs=%.3v", ipcs))
+	wb.recordCheck(res.Check)
 	return ipcs
 }
 

@@ -34,6 +34,7 @@ func (wb *Workbench) Fig3(id WorkloadID) *Fig3Result {
 	finish := wb.Reporter.StartRun(fmt.Sprintf("profiled %-22s %-14s", id, cfg.Name))
 	r := sys.RunCore0(w)
 	finish(fmt.Sprintf("IPC=%.3f", r.IPC()))
+	wb.recordCheck(r.Check)
 	res := &Fig3Result{Workload: id}
 	for b := 0; b < trace.StrideBuckets; b++ {
 		res.Labels = append(res.Labels, trace.BucketLabel(b))

@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTab1GoldenBench pins the rendered Table I report for the bench
+// profile byte-for-byte; the CI golden-report gate diffs the gmreport
+// output against the same file. Regenerate deliberately with:
+//
+//	gmreport -exp tab1 -profile bench -q > internal/harness/testdata/tab1_bench.golden
+func TestTab1GoldenBench(t *testing.T) {
+	var buf bytes.Buffer
+	NewWorkbench(Bench()).Tab1().Render(&buf)
+
+	golden := filepath.Join("testdata", "tab1_bench.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("tab1 bench report diverged from %s.\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"graphmem/internal/check"
 	"graphmem/internal/graph"
 	"graphmem/internal/kernels"
 	"graphmem/internal/mem"
@@ -166,6 +167,13 @@ type Workbench struct {
 	// grows with the number of concurrently live graphs: use -j 1 (or
 	// DropGraph between experiments) when memory-bound.
 	Parallelism int
+	// CheckLevel runs every simulation under the differential checker
+	// (internal/check) at the given level. Checked runs produce
+	// bit-identical counters, so memoized results remain valid for
+	// unchecked consumers; violations aggregate across the sweep and
+	// are reported by CheckOutcome. Set it before the first run;
+	// cmd/gmsim and cmd/gmreport expose it as -check.
+	CheckLevel check.Level
 
 	mu       sync.Mutex
 	sem      chan struct{} // worker pool, sized on first acquire
@@ -175,6 +183,10 @@ type Workbench struct {
 	running  map[string]*runLatch // in-flight single-core runs
 	singles  map[string]float64   // isolated IPC cache for Fig. 14
 	isolated map[string]*ipcLatch // in-flight isolated runs
+
+	checkRuns       int64             // live checked runs aggregated
+	checkViolations int64             // total violations across the sweep
+	checkDetails    []check.Violation // capped per-run details, concatenated
 }
 
 // NewWorkbench creates an empty workbench for the profile.
@@ -263,9 +275,33 @@ func (wb *Workbench) Workload(id WorkloadID, slot int) sim.Workload {
 	return sim.Workload{Name: id.String(), Inst: build(g, space), Space: space}
 }
 
-// configured applies the profile's windows to a config.
+// configured applies the profile's windows and the workbench's check
+// level to a config.
 func (wb *Workbench) configured(cfg sim.Config) sim.Config {
-	return cfg.WithWindows(wb.Profile.Warmup, wb.Profile.Measure)
+	cfg = cfg.WithWindows(wb.Profile.Warmup, wb.Profile.Measure)
+	cfg.CheckLevel = wb.CheckLevel
+	return cfg
+}
+
+// recordCheck folds one run's checker outcome into the sweep aggregate.
+func (wb *Workbench) recordCheck(s check.Summary) {
+	if wb.CheckLevel == check.Off {
+		return
+	}
+	wb.mu.Lock()
+	wb.checkRuns++
+	wb.checkViolations += s.Violations
+	wb.checkDetails = append(wb.checkDetails, s.Details...)
+	wb.mu.Unlock()
+}
+
+// CheckOutcome reports the aggregated differential-checker outcome:
+// how many live runs were checked, the total violation count, and the
+// retained per-violation details (capped per run by internal/check).
+func (wb *Workbench) CheckOutcome() (runs, violations int64, details []check.Violation) {
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	return wb.checkRuns, wb.checkViolations, append([]check.Violation(nil), wb.checkDetails...)
 }
 
 // BaseConfig returns the profile's single-core baseline machine.
@@ -305,6 +341,7 @@ func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 	res := sim.RunSingleCore(cfg, w)
 	finish(fmt.Sprintf("IPC=%.3f", res.IPC()))
 	wb.release()
+	wb.recordCheck(res.Check)
 
 	wb.mu.Lock()
 	wb.results[key] = res

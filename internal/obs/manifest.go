@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"graphmem/internal/check"
 	"graphmem/internal/stats"
 )
 
@@ -113,6 +114,9 @@ type Manifest struct {
 	Derived Derived `json:"derived"`
 	// Epochs is the per-epoch series (omitted when sampling was off).
 	Epochs []EpochSample `json:"epochs,omitempty"`
+	// Check is the differential-checker outcome (omitted when the run
+	// was unchecked).
+	Check *check.Summary `json:"check,omitempty"`
 	// Experiments lists the experiment ids covered by a sweep manifest
 	// (gmreport -out); empty for single runs.
 	Experiments []string    `json:"experiments,omitempty"`

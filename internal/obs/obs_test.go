@@ -229,6 +229,32 @@ func TestProgressParallelETAAndInFlight(t *testing.T) {
 	}
 }
 
+// TestProgressETAWithUnpublishedPeak pins the ramp-up race fix: a
+// finish can observe peak before the concurrent StartRun CAS publishes
+// it (in the worst interleaving peak still reads 0), and the ETA must
+// then fall back to the live inflight count instead of dividing by 1
+// (or 0) and overestimating.
+func TestProgressETAWithUnpublishedPeak(t *testing.T) {
+	p := NewProgress(nil)
+	clock := time.Unix(0, 0)
+	p.now = func() time.Time { return clock }
+
+	p.Plan(4)
+	finish := p.StartRun("a")
+	p.StartRun("b")
+	p.StartRun("c")
+	p.StartRun("d")
+	clock = clock.Add(2 * time.Second)
+	finish("IPC=1.0")
+
+	// Emulate the unpublished CAS: 3 runs still in flight, peak not yet
+	// visible. 3 remaining x 2s across 3 live workers -> 2s, not 6s.
+	p.peak.Store(0)
+	if _, _, _, eta := p.Snapshot(); eta != 2*time.Second {
+		t.Errorf("eta = %v, want 2s (divide by inflight when peak lags)", eta)
+	}
+}
+
 func TestProgressNilSinkIsSilent(t *testing.T) {
 	p := NewProgress(nil)
 	p.Plan(1)

@@ -131,18 +131,19 @@ func (p *Progress) avgLocked() time.Duration {
 }
 
 // etaLocked estimates the remaining wall clock: remaining runs times
-// the per-run moving average, divided by the peak observed run
-// concurrency (the worker-pool width once the pool has filled).
+// the per-run moving average, divided by the observed run concurrency
+// (the worker-pool width once the pool has filled). The divisor takes
+// the max of peak and the current inflight count: peak is published by
+// a CompareAndSwap in StartRun that can still be in flight when the
+// first run finishes, so peak alone can lag the ramp-up (or even read
+// 0) and overestimate the ETA.
 func (p *Progress) etaLocked() time.Duration {
 	avg := p.avgLocked()
 	remaining := p.total - p.done
 	if avg <= 0 || remaining <= 0 {
 		return 0
 	}
-	workers := int(p.peak.Load())
-	if workers < 1 {
-		workers = 1
-	}
+	workers := max(int(p.peak.Load()), int(p.inflight.Load()), 1)
 	return avg * time.Duration(remaining) / time.Duration(workers)
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"graphmem/internal/cache"
+	"graphmem/internal/check"
 	"graphmem/internal/coherence"
 	corepkg "graphmem/internal/core"
 	"graphmem/internal/cpu"
@@ -121,6 +122,21 @@ type Config struct {
 	// Result.Epochs / MultiResult.Epochs. Zero (the default) disables
 	// sampling at no cost to the core loop.
 	EpochInterval int64
+
+	// CheckLevel enables the differential correctness harness
+	// (internal/check): check.OracleOnly shadows every block with an
+	// architectural version and validates every demand load;
+	// check.Full adds periodic cache + SDCDir invariant sweeps. Off
+	// (the default) costs one nil compare per hook site and keeps the
+	// run bit-identical to an unchecked one.
+	CheckLevel check.Level
+
+	// BreakSDCDirInval is a fault-injection hook for testing the
+	// checker itself: when set, the L1 demand path that pulls a block
+	// out of the local SDC "forgets" to invalidate the SDC copy while
+	// still dropping the directory entry — the canonical stale-data
+	// bug class the oracle exists to catch. Never set outside tests.
+	BreakSDCDirInval bool
 }
 
 // TableI returns the paper's baseline configuration (Table I) for the
@@ -165,6 +181,13 @@ func (c Config) WithWindows(warmup, measure int64) Config {
 // n retired instructions (0 disables).
 func (c Config) WithEpochInterval(n int64) Config {
 	c.EpochInterval = n
+	return c
+}
+
+// WithCheck returns a copy running under the given differential-check
+// level (see internal/check).
+func (c Config) WithCheck(l check.Level) Config {
+	c.CheckLevel = l
 	return c
 }
 

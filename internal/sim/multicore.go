@@ -3,6 +3,7 @@ package sim
 import (
 	"sync/atomic"
 
+	"graphmem/internal/check"
 	"graphmem/internal/obs"
 	"graphmem/internal/stats"
 	"graphmem/internal/trace"
@@ -106,6 +107,9 @@ type MultiResult struct {
 	// Epochs holds each core's epoch telemetry series (nil slices
 	// unless the config's EpochInterval was positive).
 	Epochs [][]obs.EpochSample
+	// Check is the system-wide differential-checker outcome (zero value
+	// unless the config's CheckLevel was set).
+	Check check.Summary
 }
 
 // IPCs returns the per-core measured IPCs.
@@ -231,6 +235,10 @@ func RunMultiCoreOn(sys *System, ws []Workload) *MultiResult {
 		res.PerCore = append(res.PerCore, sl.c.measured)
 		res.Names = append(res.Names, ws[i].Name)
 		res.Epochs = append(res.Epochs, sl.c.epochs)
+	}
+	sys.CheckInvariants() // final structural sweep (no-op unless check.Full)
+	if sys.chk != nil {
+		res.Check = sys.chk.Summary()
 	}
 	return res
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"graphmem/internal/check"
 	"graphmem/internal/mem"
 	"graphmem/internal/obs"
 	"graphmem/internal/stats"
@@ -60,6 +61,10 @@ const noEpoch = math.MaxInt64
 // complete.
 func (c *coreCtx) observe(r trace.Record) bool {
 	c.cpuCore.Access(r)
+	if c.cpuCore.Instructions >= c.nextSweep {
+		c.nextSweep = c.cpuCore.Instructions + checkSweepEvery
+		c.sys.CheckInvariants()
+	}
 	cfg := c.sys.cfg
 	if !c.inMeasure {
 		if c.cpuCore.Instructions >= cfg.Warmup {
@@ -175,6 +180,9 @@ type Result struct {
 	// measurement window: their instruction counts sum to
 	// Stats.Instructions.
 	Epochs []obs.EpochSample
+	// Check is the differential-checker outcome (zero value unless the
+	// config's CheckLevel was set).
+	Check check.Summary
 }
 
 // IPC is the measured instructions per cycle.
@@ -212,11 +220,16 @@ func (s *System) RunCore0(w Workload) *Result {
 		}
 	}
 	c.finish()
-	return &Result{
+	s.CheckInvariants() // final structural sweep (no-op unless check.Full)
+	res := &Result{
 		Config:   s.cfg.Name,
 		Workload: w.Name,
 		Stats:    c.measured,
 		Reruns:   reruns,
 		Epochs:   c.epochs,
 	}
+	if s.chk != nil {
+		res.Check = s.chk.Summary()
+	}
+	return res
 }

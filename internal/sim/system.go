@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"fmt"
+
 	"graphmem/internal/cache"
+	"graphmem/internal/check"
 	"graphmem/internal/coherence"
 	corepkg "graphmem/internal/core"
 	"graphmem/internal/cpu"
@@ -41,10 +44,15 @@ type System struct {
 	sdcDir *coherence.SDCDir
 	dram   *dram.Memory
 	cores  []*coreCtx
+	chk    *check.Checker // nil unless cfg.CheckLevel != check.Off
 
 	// Observer, when set, sees demand loads in the measure window.
 	Observer Observer
 }
+
+// Checker returns the differential checker, or nil when checking is
+// off.
+func (s *System) Checker() *check.Checker { return s.chk }
 
 type coreCtx struct {
 	id  int
@@ -85,7 +93,24 @@ type coreCtx struct {
 
 	// Serving-level counters (running totals; snapshot like the rest).
 	served [8]int64
+
+	// Differential-checker state (nil / unused when checking is off;
+	// every hook site is gated on chk != nil so the Off cost is one
+	// pointer compare). curPC carries the access PC into the routing
+	// paths, whose signatures the direct-call unit tests pin down;
+	// verScratch carries the version a hierarchy serve delivered back
+	// up from l2Access/llcAccess (0 = unknown, e.g. MSHR merges).
+	chk        *check.Checker
+	curPC      uint64
+	verScratch uint64
+	// nextSweep triggers the periodic invariant sweep (check.Full),
+	// armed like nextEpoch so the hot loop pays one comparison.
+	nextSweep int64
 }
+
+// checkSweepEvery is the retired-instruction period of the structural
+// invariant sweep in check.Full runs.
+const checkSweepEvery = 4096
 
 // oracleMux dispatches T-OPT rank queries to the owning core's
 // workload oracle based on the address window.
@@ -124,6 +149,9 @@ func NewSystem(cfg Config, ws []Workload) *System {
 		panic("sim: workload count must equal core count")
 	}
 	s := &System{cfg: cfg, dram: dram.NewMemory(cfg.DRAM, cfg.DRAMChannels)}
+	if cfg.CheckLevel != check.Off {
+		s.chk = check.New(cfg.CheckLevel)
+	}
 
 	llcCfg := cfg.llcConfig()
 	if cfg.LLCRRIP {
@@ -148,7 +176,10 @@ func NewSystem(cfg Config, ws []Workload) *System {
 	}
 
 	for i := 0; i < cfg.Cores; i++ {
-		c := &coreCtx{id: i, sys: s, w: ws[i], nextEpoch: noEpoch}
+		c := &coreCtx{id: i, sys: s, w: ws[i], nextEpoch: noEpoch, chk: s.chk, nextSweep: noEpoch}
+		if cfg.CheckLevel == check.Full {
+			c.nextSweep = checkSweepEvery
+		}
 		l1Cfg := cfg.L1D
 		c.l1d = cache.New(l1Cfg)
 		if cfg.VictimEntries > 0 {
@@ -217,8 +248,15 @@ func (s *System) onSDCDirEvict(blk mem.BlockAddr, sharers uint64) {
 		if c.sdc == nil {
 			continue
 		}
+		var ver uint64
+		if s.chk != nil {
+			ver = c.sdc.VerOf(blk)
+		}
 		if present, dirty := c.sdc.Invalidate(blk); present && dirty {
 			s.dram.Access(blk, true, c.cpuCore.Cycle())
+			if s.chk != nil {
+				s.chk.DRAMWrite(blk, ver)
+			}
 		}
 	}
 }
@@ -236,6 +274,11 @@ func (c *coreCtx) isIrregular(addr mem.Addr) bool {
 // access is the core-side entry point for every demand memory access.
 func (c *coreCtx) access(pc uint64, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
 	blk := addr.Block()
+	if c.chk != nil {
+		// Stash the PC for oracle provenance; the routing paths keep
+		// their test-pinned signatures.
+		c.curPC = pc
+	}
 
 	// Address translation proceeds in parallel with the (VIPT) L1D/SDC
 	// lookup; only its excess latency delays the response.
@@ -290,22 +333,46 @@ func (c *coreCtx) bypassAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, wri
 	s := c.sys
 	res := c.l1d.Lookup(blk, addr, size, write, false, issue)
 	if res.Hit {
+		c.checkCacheHit(c.l1d, blk, mem.ServedL1D, write)
 		return mem.Response{Ready: res.ReadyAt, Source: mem.ServedL1D}
 	}
 	t := res.ReadyAt
 	if present, _ := c.l2.ProbeDirty(blk); present {
 		r := c.l2.Lookup(blk, addr, size, write, false, t)
+		c.checkCacheHit(c.l2, blk, mem.ServedL2, write)
 		return mem.Response{Ready: r.ReadyAt, Source: mem.ServedL2}
 	}
 	if present, _ := s.llc.ProbeDirty(blk); present {
 		r := s.llc.Lookup(blk, addr, size, write, false, t+c.l2.Latency())
+		c.checkCacheHit(s.llc, blk, mem.ServedLLC, write)
 		return mem.Response{Ready: r.ReadyAt, Source: mem.ServedLLC}
 	}
 	done := s.dram.Access(blk, write, t)
 	if write {
 		done = t + 1 // write-through to DRAM, off the critical path
 	}
+	if c.chk != nil {
+		if write {
+			c.chk.DRAMWrite(blk, c.chk.StoreAbsorbed(blk))
+		} else {
+			c.chk.CheckLoad(c.id, c.curPC, blk, mem.ServedDRAM, c.chk.DRAMRead(blk))
+		}
+	}
 	return mem.Response{Ready: done, Source: mem.ServedDRAM}
+}
+
+// checkCacheHit applies the oracle to a demand hit in a cache: a load
+// must have been served at the architectural version, a store dirties
+// the line and bumps the version in place.
+func (c *coreCtx) checkCacheHit(ch *cache.Cache, blk mem.BlockAddr, src mem.ServedBy, write bool) {
+	if c.chk == nil {
+		return
+	}
+	if write {
+		ch.SetVer(blk, c.chk.StoreAbsorbed(blk))
+		return
+	}
+	c.chk.CheckLoad(c.id, c.curPC, blk, src, ch.VerOf(blk))
 }
 
 // --- SDC path (Section III-D) ---
@@ -327,6 +394,7 @@ func (c *coreCtx) sdcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write 
 			}
 			s.sdcDir.AddSharer(blk, c.id, true)
 		}
+		c.checkCacheHit(c.sdc, blk, mem.ServedSDC, write)
 		return mem.Response{Ready: res.ReadyAt, Source: mem.ServedSDC}
 	}
 
@@ -335,6 +403,10 @@ func (c *coreCtx) sdcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write 
 	if m := c.sdc.MSHR(); m != nil {
 		if ready, inflight := m.Lookup(blk, t); inflight {
 			c.sdc.Stats.MergedMSHR++
+			if c.chk != nil && !write {
+				// Merged into an in-flight fill: served version unknown.
+				c.chk.CheckLoad(c.id, c.curPC, blk, mem.ServedSDC, 0)
+			}
 			return mem.Response{Ready: max64(ready, t), Source: mem.ServedSDC}
 		}
 		t = m.Allocate(blk, t)
@@ -363,7 +435,6 @@ func (c *coreCtx) sdcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write 
 
 	// (b) A private cache or the LLC holds it.
 	if ready, found, src := c.serveFromHierarchy(blk, addr, size, write, dirDone); found {
-		c.fillSDC(blk, addr, size, write, ready)
 		if m := c.sdc.MSHR(); m != nil {
 			m.Complete(blk, ready)
 		}
@@ -374,7 +445,16 @@ func (c *coreCtx) sdcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write 
 	// parallel with the directory check.
 	dramDone := s.dram.Access(blk, false, t)
 	ready := max64(dramDone, dirDone)
-	c.fillSDC(blk, addr, size, write, ready)
+	var ver uint64
+	if c.chk != nil {
+		ver = c.chk.DRAMRead(blk)
+		if write {
+			ver = c.chk.StoreAbsorbed(blk)
+		} else {
+			c.chk.CheckLoad(c.id, c.curPC, blk, mem.ServedDRAM, ver)
+		}
+	}
+	c.fillSDC(blk, addr, size, write, ready, ver)
 	if m := c.sdc.MSHR(); m != nil {
 		m.Complete(blk, ready)
 	}
@@ -404,12 +484,23 @@ func (c *coreCtx) serveFromSDCs(blk mem.BlockAddr, addr mem.Addr, size uint8, wr
 			if sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
 				continue
 			}
+			var ver uint64
+			if c.chk != nil {
+				ver = s.cores[i].sdc.VerOf(blk)
+			}
 			if present, dirty := s.cores[i].sdc.Invalidate(blk); present && dirty {
 				s.dram.Access(blk, true, t)
+				if c.chk != nil {
+					c.chk.DRAMWrite(blk, ver)
+				}
 			}
 		}
 		s.sdcDir.InvalidateAll(blk)
-		c.fillSDC(blk, addr, size, true, ready)
+		var fillVer uint64
+		if c.chk != nil {
+			fillVer = c.chk.StoreAbsorbed(blk)
+		}
+		c.fillSDC(blk, addr, size, true, ready, fillVer)
 		return ready
 	}
 	// Read: a cache-to-cache transfer; join the sharers.
@@ -417,72 +508,153 @@ func (c *coreCtx) serveFromSDCs(blk mem.BlockAddr, addr mem.Addr, size uint8, wr
 	if remote {
 		ready += s.cfg.DirLatency / 2 // transfer hop
 	}
-	c.fillSDC(blk, addr, size, false, ready)
+	var ver uint64
+	if c.chk != nil {
+		for i := range s.cores {
+			if sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
+				continue
+			}
+			if v := s.cores[i].sdc.VerOf(blk); v != 0 {
+				ver = v
+				break
+			}
+		}
+		src := mem.ServedSDC
+		if remote {
+			src = mem.ServedRemote
+		}
+		c.chk.CheckLoad(c.id, c.curPC, blk, src, ver)
+	}
+	c.fillSDC(blk, addr, size, false, ready, ver)
 	return ready
 }
 
 // serveFromHierarchy probes the caller's and remote cores' private
-// caches plus the shared LLC (the idealized full-map directory). On a
-// hit the block is served and, for writes, all hierarchy copies are
-// invalidated (dirty ones written back) per Section III-C.
+// caches plus the shared LLC (the idealized full-map directory) for an
+// SDC miss. A read is served in place — the copy stays where it is and
+// the SDC is NOT filled, so the hierarchy remains the sole owner and no
+// copy can go stale behind the SDC's back. A write takes exclusive
+// ownership with move semantics: every hierarchy copy is purged and the
+// dirty data transfers into the SDC fill (no DRAM write-back needed —
+// the SDC copy becomes the owner).
 func (c *coreCtx) serveFromHierarchy(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, t int64) (ready int64, found bool, src mem.ServedBy) {
 	s := c.sys
-	type loc struct {
-		inval func() (bool, bool)
-		lat   int64
-		src   mem.ServedBy
-	}
-	var hit *loc
-	// Own private caches first (closest): these are found by the local
-	// probe on the way to the directory and serve at their own
-	// latencies (negative lat relative to the directory round).
+	// Locate the closest (topmost) copy for latency, provenance and
+	// the served version: the requester's own private stack is probed
+	// top-down on the way to the directory and serves at its own
+	// latency (negative lat relative to the directory round).
+	var lat int64
+	src = mem.ServedNone
 	if p, _ := c.l1d.ProbeDirty(blk); p {
-		hit = &loc{inval: func() (bool, bool) { return c.l1d.Invalidate(blk) }, lat: c.l1d.Latency() - s.cfg.DirLatency, src: mem.ServedL1D}
+		lat, src = c.l1d.Latency()-s.cfg.DirLatency, mem.ServedL1D
+	} else if c.victim != nil && c.victim.Probe(blk) {
+		lat, src = c.victim.Latency()+c.l1d.Latency()-s.cfg.DirLatency, mem.ServedL1D
 	} else if p, _ := c.l2.ProbeDirty(blk); p {
-		hit = &loc{inval: func() (bool, bool) { return c.l2.Invalidate(blk) }, lat: c.l2.Latency() - s.cfg.DirLatency, src: mem.ServedL2}
+		lat, src = c.l2.Latency()-s.cfg.DirLatency, mem.ServedL2
 	} else if p, _ := s.llc.ProbeDirty(blk); p {
-		hit = &loc{inval: func() (bool, bool) { return s.llc.Invalidate(blk) }, lat: 0, src: mem.ServedLLC}
+		lat, src = 0, mem.ServedLLC
 	} else {
 		for i := range s.cores {
 			if i == c.id {
 				continue
 			}
 			rc := s.cores[i]
-			if p, _ := rc.l1d.ProbeDirty(blk); p {
-				hit = &loc{inval: func() (bool, bool) { return rc.l1d.Invalidate(blk) }, lat: s.cfg.DirLatency / 2, src: mem.ServedRemote}
-				break
-			}
-			if p, _ := rc.l2.ProbeDirty(blk); p {
-				hit = &loc{inval: func() (bool, bool) { return rc.l2.Invalidate(blk) }, lat: s.cfg.DirLatency / 2, src: mem.ServedRemote}
+			if rc.l1d.Probe(blk) || (rc.victim != nil && rc.victim.Probe(blk)) || rc.l2.Probe(blk) {
+				lat, src = s.cfg.DirLatency/2, mem.ServedRemote
 				break
 			}
 		}
 	}
-	if hit == nil {
+	if src == mem.ServedNone {
 		return 0, false, mem.ServedNone
 	}
-	ready = t + hit.lat
-	if write {
-		// Exclusive ownership for the SDC: purge the hierarchy.
-		if _, dirty := hit.inval(); dirty {
-			s.dram.Access(blk, true, ready)
+	ready = t + lat
+
+	// The topmost copy in the owning stack carries the newest version.
+	var ver uint64
+	if c.chk != nil {
+		ver = c.hierarchyVer(blk)
+	}
+
+	if !write {
+		if c.chk != nil {
+			c.chk.CheckLoad(c.id, c.curPC, blk, src, ver)
+		}
+		return ready, true, src
+	}
+
+	// Write: purge every copy. Dirty data is not written back — it
+	// transfers into the (dirty) SDC fill, which supersedes it.
+	purge := func(ch *cache.Cache) {
+		if ch != nil {
+			ch.Invalidate(blk)
 		}
 	}
-	return ready, true, hit.src
+	purge(s.llc)
+	for _, rc := range s.cores {
+		purge(rc.l1d)
+		purge(rc.victim)
+		purge(rc.l2)
+	}
+
+	if c.chk != nil {
+		ver = c.chk.StoreAbsorbed(blk)
+	}
+	c.fillSDC(blk, addr, size, true, ready, ver)
+	return ready, true, src
+}
+
+// hierarchyVer returns the version of the topmost hierarchy copy of
+// blk (own stack top-down, then the LLC, then remote stacks), 0 if
+// unknown everywhere.
+func (c *coreCtx) hierarchyVer(blk mem.BlockAddr) uint64 {
+	s := c.sys
+	for _, ch := range []*cache.Cache{c.l1d, c.victim, c.l2, s.llc} {
+		if ch == nil {
+			continue
+		}
+		if v := ch.VerOf(blk); v != 0 {
+			return v
+		}
+	}
+	for i := range s.cores {
+		if i == c.id {
+			continue
+		}
+		rc := s.cores[i]
+		for _, ch := range []*cache.Cache{rc.l1d, rc.victim, rc.l2} {
+			if ch == nil {
+				continue
+			}
+			if v := ch.VerOf(blk); v != 0 {
+				return v
+			}
+		}
+	}
+	return 0
 }
 
 // fillSDC inserts a block into the SDC, handling victim write-back and
-// SDCDir bookkeeping.
-func (c *coreCtx) fillSDC(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, ready int64) {
+// SDCDir bookkeeping. dirty marks the filled copy modified (a store,
+// or a dirty transfer from the hierarchy), which also makes the SDCDir
+// entry Modified with this core as sole owner. ver is the
+// architectural version stamp (0 when checking is off or unknown).
+func (c *coreCtx) fillSDC(blk mem.BlockAddr, addr mem.Addr, size uint8, dirty bool, ready int64, ver uint64) {
 	s := c.sys
-	v := c.sdc.Fill(blk, addr, size, write, false, ready)
+	v := c.sdc.Fill(blk, addr, size, dirty, false, ready)
+	if c.chk != nil {
+		c.sdc.SetVer(blk, ver)
+	}
 	if v.Valid {
 		s.sdcDir.RemoveSharer(v.Blk, c.id)
 		if v.Dirty {
 			s.dram.Access(v.Blk, true, ready)
+			if c.chk != nil {
+				c.chk.DRAMWrite(v.Blk, v.Ver)
+			}
 		}
 	}
-	s.sdcDir.AddSharer(blk, c.id, write)
+	s.sdcDir.AddSharer(blk, c.id, dirty)
 }
 
 // sdcPrefetch fetches a next-line candidate into the SDC from DRAM.
@@ -510,7 +682,11 @@ func (c *coreCtx) sdcPrefetch(blk mem.BlockAddr, now int64) {
 		return
 	}
 	done := s.dram.Access(blk, false, now)
-	c.fillSDC(blk, blk.Addr(), mem.BlockSize, false, done)
+	var ver uint64
+	if c.chk != nil {
+		ver = c.chk.DRAMRead(blk)
+	}
+	c.fillSDC(blk, blk.Addr(), mem.BlockSize, false, done, ver)
 	c.sdc.MarkPrefetchFill()
 	if m := c.sdc.MSHR(); m != nil {
 		m.Complete(blk, done)
@@ -526,6 +702,9 @@ func (c *coreCtx) anyCacheHolds(blk mem.BlockAddr) bool {
 		if rc.l1d.Probe(blk) || rc.l2.Probe(blk) {
 			return true
 		}
+		if rc.victim != nil && rc.victim.Probe(blk) {
+			return true
+		}
 	}
 	return false
 }
@@ -536,6 +715,7 @@ func (c *coreCtx) l1Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write b
 	s := c.sys
 	res := c.l1d.Lookup(blk, addr, size, write, false, issue)
 	if res.Hit {
+		c.checkCacheHit(c.l1d, blk, mem.ServedL1D, write)
 		return mem.Response{Ready: res.ReadyAt, Source: mem.ServedL1D}
 	}
 	t := res.ReadyAt
@@ -544,20 +724,58 @@ func (c *coreCtx) l1Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write b
 	// back in on a hit (Jouppi).
 	if c.victim != nil {
 		if vres := c.victim.Lookup(blk, addr, size, write, false, t); vres.Hit {
+			var ver uint64
+			if c.chk != nil {
+				ver = c.victim.VerOf(blk)
+				if write {
+					ver = c.chk.StoreAbsorbed(blk)
+				} else {
+					c.chk.CheckLoad(c.id, c.curPC, blk, mem.ServedL1D, ver)
+				}
+			}
 			_, dirty := c.victim.Invalidate(blk)
-			c.fillL1(blk, addr, size, write || dirty, vres.ReadyAt)
+			c.fillL1(blk, addr, size, write || dirty, vres.ReadyAt, ver)
 			return mem.Response{Ready: vres.ReadyAt, Source: mem.ServedL1D}
 		}
 	}
 
 	// The SDC may hold the block (friendly access to data previously
-	// classified averse): the SDCDir transfers it over.
+	// classified averse): the SDCDir transfers it over. The whole SDC
+	// domain gives the block up — every sharer's copy is invalidated
+	// and the directory entry dropped — so no SDC copy can linger
+	// untracked and go stale once the hierarchy owns the line.
 	if s.sdcDir != nil {
 		if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers&(1<<c.id) != 0 {
 			ready := t + s.sdcDir.Latency() + c.sdc.Latency()
-			_, dirty := c.sdc.Invalidate(blk)
-			s.sdcDir.RemoveSharer(blk, c.id)
-			c.fillL1(blk, addr, size, write || dirty, ready)
+			var ver uint64
+			if c.chk != nil {
+				ver = c.sdc.VerOf(blk)
+			}
+			anyDirty := false
+			for i := range s.cores {
+				if sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
+					continue
+				}
+				if i == c.id && s.cfg.BreakSDCDirInval {
+					// Fault injection (tests only): "forget" to
+					// invalidate our own SDC copy while the directory
+					// entry is still dropped below — the classic
+					// untracked-stale-copy bug the oracle must catch.
+					continue
+				}
+				if _, dirty := s.cores[i].sdc.Invalidate(blk); dirty {
+					anyDirty = true
+				}
+			}
+			s.sdcDir.InvalidateAll(blk)
+			if c.chk != nil {
+				if write {
+					ver = c.chk.StoreAbsorbed(blk)
+				} else {
+					c.chk.CheckLoad(c.id, c.curPC, blk, mem.ServedSDC, ver)
+				}
+			}
+			c.fillL1(blk, addr, size, write || anyDirty, ready, ver)
 			return mem.Response{Ready: ready, Source: mem.ServedSDC}
 		}
 	}
@@ -565,13 +783,26 @@ func (c *coreCtx) l1Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write b
 	if m := c.l1d.MSHR(); m != nil {
 		if ready, inflight := m.Lookup(blk, t); inflight {
 			c.l1d.Stats.MergedMSHR++
+			if c.chk != nil && !write {
+				// Merged into an in-flight fill: served version unknown.
+				c.chk.CheckLoad(c.id, c.curPC, blk, mem.ServedL2, 0)
+			}
 			return mem.Response{Ready: max64(ready, t), Source: mem.ServedL2}
 		}
 		t = m.Allocate(blk, t)
 	}
 
 	resp := c.l2Access(blk, addr, size, write, false, t)
-	c.fillL1(blk, addr, size, write, resp.Ready)
+	var ver uint64
+	if c.chk != nil {
+		ver = c.verScratch
+		if write {
+			ver = c.chk.StoreAbsorbed(blk)
+		} else {
+			c.chk.CheckLoad(c.id, c.curPC, blk, resp.Source, c.verScratch)
+		}
+	}
+	c.fillL1(blk, addr, size, write, resp.Ready, ver)
 	if m := c.l1d.MSHR(); m != nil {
 		m.Complete(blk, resp.Ready)
 	}
@@ -587,40 +818,56 @@ func (c *coreCtx) l1Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write b
 }
 
 // fillL1 inserts into the L1D, cascading victims into the victim cache
-// (when configured) and dirty data down the hierarchy.
-func (c *coreCtx) fillL1(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, ready int64) {
+// (when configured) and dirty data down the hierarchy. ver is the
+// version stamp of the filled copy (0 when checking is off).
+func (c *coreCtx) fillL1(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool, ready int64, ver uint64) {
 	v := c.l1d.Fill(blk, addr, size, write, false, ready)
+	if c.chk != nil {
+		c.l1d.SetVer(blk, ver)
+	}
 	if !v.Valid {
 		return
 	}
 	if c.victim != nil {
 		vv := c.victim.Fill(v.Blk, v.Blk.Addr(), mem.BlockSize, v.Dirty, false, ready)
+		if c.chk != nil {
+			c.victim.SetVer(v.Blk, v.Ver)
+		}
 		if vv.Valid && vv.Dirty {
-			c.writebackToL2(vv.Blk, ready)
+			c.writebackToL2(vv.Blk, ready, vv.Ver)
 		}
 		return
 	}
 	if v.Dirty {
-		c.writebackToL2(v.Blk, ready)
+		c.writebackToL2(v.Blk, ready, v.Ver)
 	}
 }
 
 // writebackToL2 installs a dirty L1 victim in the L2 (allocate-on-
-// write-back), cascading further victims.
-func (c *coreCtx) writebackToL2(blk mem.BlockAddr, now int64) {
+// write-back), cascading further victims. ver travels with the data.
+func (c *coreCtx) writebackToL2(blk mem.BlockAddr, now int64, ver uint64) {
 	v := c.l2.Fill(blk, blk.Addr(), mem.BlockSize, true, false, now)
 	c.l2.Stats.Writebacks++
+	if c.chk != nil {
+		c.l2.SetVer(blk, ver)
+	}
 	if v.Valid && v.Dirty {
-		c.writebackToLLC(v.Blk, now)
+		c.writebackToLLC(v.Blk, now, v.Ver)
 	}
 }
 
-func (c *coreCtx) writebackToLLC(blk mem.BlockAddr, now int64) {
+func (c *coreCtx) writebackToLLC(blk mem.BlockAddr, now int64, ver uint64) {
 	s := c.sys
 	v := s.llc.Fill(blk, blk.Addr(), mem.BlockSize, true, false, now)
 	s.llc.Stats.Writebacks++
+	if c.chk != nil {
+		s.llc.SetVer(blk, ver)
+	}
 	if v.Valid && v.Dirty {
 		s.dram.Access(v.Blk, true, now)
+		if c.chk != nil {
+			c.chk.DRAMWrite(v.Blk, v.Ver)
+		}
 	}
 }
 
@@ -637,12 +884,16 @@ func (c *coreCtx) l2Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write, 
 
 	var resp mem.Response
 	if res.Hit {
+		if c.chk != nil {
+			c.verScratch = c.l2.VerOf(blk)
+		}
 		resp = mem.Response{Ready: res.ReadyAt, Source: mem.ServedL2}
 	} else {
 		t := res.ReadyAt
 		if m := c.l2.MSHR(); m != nil {
 			if ready, inflight := m.Lookup(blk, t); inflight {
 				c.l2.Stats.MergedMSHR++
+				c.verScratch = 0 // merged: delivered version unknown
 				resp = mem.Response{Ready: max64(ready, t), Source: mem.ServedLLC}
 				return resp
 			}
@@ -650,8 +901,12 @@ func (c *coreCtx) l2Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write, 
 		}
 		resp = c.llcAccess(blk, addr, size, write, pf, t)
 		v := c.l2.Fill(blk, addr, size, false, false, resp.Ready)
+		if c.chk != nil {
+			// llcAccess left the delivered version in verScratch.
+			c.l2.SetVer(blk, c.verScratch)
+		}
 		if v.Valid && v.Dirty {
-			c.writebackToLLC(v.Blk, resp.Ready)
+			c.writebackToLLC(v.Blk, resp.Ready, v.Ver)
 		}
 		if m := c.l2.MSHR(); m != nil {
 			m.Complete(blk, resp.Ready)
@@ -659,10 +914,14 @@ func (c *coreCtx) l2Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write, 
 	}
 
 	// Prefetches launch at the demand's L2-lookup point, never at its
-	// completion time (see sdcAccess for why).
+	// completion time (see sdcAccess for why). They recurse into
+	// llcAccess and clobber verScratch with their own blocks' versions,
+	// so the demand's delivered version is restored for the caller.
+	dv := c.verScratch
 	for _, cand := range cands {
 		c.l2Prefetch(cand, res.ReadyAt)
 	}
+	c.verScratch = dv
 	return resp
 }
 
@@ -683,8 +942,11 @@ func (c *coreCtx) l2Prefetch(blk mem.BlockAddr, now int64) {
 	resp := c.llcAccess(blk, blk.Addr(), mem.BlockSize, false, true, now)
 	v := c.l2.Fill(blk, blk.Addr(), mem.BlockSize, false, true, resp.Ready)
 	c.l2.MarkPrefetchFill()
+	if c.chk != nil {
+		c.l2.SetVer(blk, c.verScratch)
+	}
 	if v.Valid && v.Dirty {
-		c.writebackToLLC(v.Blk, resp.Ready)
+		c.writebackToLLC(v.Blk, resp.Ready, v.Ver)
 	}
 	if m := c.l2.MSHR(); m != nil {
 		m.Complete(blk, resp.Ready)
@@ -693,7 +955,10 @@ func (c *coreCtx) l2Prefetch(blk mem.BlockAddr, now int64) {
 
 // l1Prefetch fetches a next-line candidate into the L1D via L2.
 func (c *coreCtx) l1Prefetch(blk mem.BlockAddr, now int64) {
-	if c.l1d.Probe(blk) {
+	// Skip when the L1D or the victim cache already holds the block: a
+	// prefetch fill above a newer (possibly dirty) victim-cache copy
+	// would resurrect a stale version ahead of it in lookup order.
+	if c.l1d.Probe(blk) || (c.victim != nil && c.victim.Probe(blk)) {
 		return
 	}
 	if m := c.l1d.MSHR(); m != nil {
@@ -708,8 +973,11 @@ func (c *coreCtx) l1Prefetch(blk mem.BlockAddr, now int64) {
 	resp := c.l2Access(blk, blk.Addr(), mem.BlockSize, false, true, now)
 	v := c.l1d.Fill(blk, blk.Addr(), mem.BlockSize, false, true, resp.Ready)
 	c.l1d.MarkPrefetchFill()
+	if c.chk != nil {
+		c.l1d.SetVer(blk, c.verScratch)
+	}
 	if v.Valid && v.Dirty {
-		c.writebackToL2(v.Blk, resp.Ready)
+		c.writebackToL2(v.Blk, resp.Ready, v.Ver)
 	}
 	if m := c.l1d.MSHR(); m != nil {
 		m.Complete(blk, resp.Ready)
@@ -720,12 +988,16 @@ func (c *coreCtx) llcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write,
 	s := c.sys
 	res := s.llc.Lookup(blk, addr, size, false, pf, issue)
 	if res.Hit {
+		if c.chk != nil {
+			c.verScratch = s.llc.VerOf(blk)
+		}
 		return mem.Response{Ready: res.ReadyAt, Source: mem.ServedLLC}
 	}
 	t := res.ReadyAt
 	if m := s.llc.MSHR(); m != nil {
 		if ready, inflight := m.Lookup(blk, t); inflight {
 			s.llc.Stats.MergedMSHR++
+			c.verScratch = 0 // merged: delivered version unknown
 			return mem.Response{Ready: max64(ready, t), Source: mem.ServedDRAM}
 		}
 		t = m.Allocate(blk, t)
@@ -734,6 +1006,7 @@ func (c *coreCtx) llcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write,
 	// Directory: a remote private cache or any SDC may hold the block.
 	ready := int64(0)
 	src := mem.ServedDRAM
+	var ver uint64
 	if s.sdcDir != nil {
 		if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers != 0 {
 			// Transfer from an SDC; invalidate the copies so the
@@ -742,8 +1015,14 @@ func (c *coreCtx) llcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write,
 				if sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
 					continue
 				}
+				if c.chk != nil && ver == 0 {
+					ver = s.cores[i].sdc.VerOf(blk)
+				}
 				if present, dirty := s.cores[i].sdc.Invalidate(blk); present && dirty {
 					s.dram.Access(blk, true, t)
+					if c.chk != nil {
+						c.chk.DRAMWrite(blk, ver)
+					}
 				}
 			}
 			s.sdcDir.InvalidateAll(blk)
@@ -757,7 +1036,19 @@ func (c *coreCtx) llcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write,
 			if rc.id == c.id {
 				continue
 			}
-			if rc.l1d.Probe(blk) || rc.l2.Probe(blk) {
+			if rc.l1d.Probe(blk) || (rc.victim != nil && rc.victim.Probe(blk)) || rc.l2.Probe(blk) {
+				if c.chk != nil {
+					// Topmost remote copy carries the newest version.
+					for _, ch := range []*cache.Cache{rc.l1d, rc.victim, rc.l2} {
+						if ch == nil {
+							continue
+						}
+						if v := ch.VerOf(blk); v != 0 {
+							ver = v
+							break
+						}
+					}
+				}
 				ready = t + s.cfg.DirLatency/2
 				src = mem.ServedRemote
 				break
@@ -766,16 +1057,56 @@ func (c *coreCtx) llcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write,
 	}
 	if src == mem.ServedDRAM {
 		ready = s.dram.Access(blk, false, t)
+		if c.chk != nil {
+			ver = c.chk.DRAMRead(blk)
+		}
 	}
 
 	v := s.llc.Fill(blk, addr, size, false, false, ready)
+	if c.chk != nil {
+		s.llc.SetVer(blk, ver)
+		c.verScratch = ver
+	}
 	if v.Valid && v.Dirty {
 		s.dram.Access(v.Blk, true, ready)
+		if c.chk != nil {
+			c.chk.DRAMWrite(v.Blk, v.Ver)
+		}
 	}
 	if m := s.llc.MSHR(); m != nil {
 		m.Complete(blk, ready)
 	}
 	return mem.Response{Ready: ready, Source: src}
+}
+
+// CheckInvariants runs one structural invariant sweep over every cache
+// and the SDCDir (see internal/check/invariants.go). It is a no-op
+// unless the run is at check.Full; the runner calls it every
+// checkSweepEvery retired instructions and once more at the end.
+func (s *System) CheckInvariants() {
+	k := s.chk
+	if k == nil || k.Level() != check.Full {
+		return
+	}
+	k.Sweeps++
+	k.CheckCache("LLC", s.llc)
+	sdcs := make([]*cache.Cache, len(s.cores))
+	for _, c := range s.cores {
+		k.CheckCache(fmt.Sprintf("core%d/L1D", c.id), c.l1d)
+		if c.victim != nil {
+			k.CheckCache(fmt.Sprintf("core%d/VC", c.id), c.victim)
+		}
+		k.CheckCache(fmt.Sprintf("core%d/L2", c.id), c.l2)
+		if c.sdc != nil {
+			k.CheckCache(fmt.Sprintf("core%d/SDC", c.id), c.sdc)
+		}
+		sdcs[c.id] = c.sdc
+	}
+	if s.sdcDir != nil {
+		k.CheckSDCDir(s.sdcDir, sdcs, func(blk mem.BlockAddr) bool {
+			return s.cores[0].anyCacheHolds(blk)
+		})
+	}
 }
 
 func max64(a, b int64) int64 {

@@ -1,0 +1,56 @@
+package tlb
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// FuzzTLBVsReference drives a small TLB with the fill-on-miss usage
+// pattern Translate follows, against a per-set LRU list reference.
+// Hit/miss outcomes and the Hits/Misses/Evictions counters must match
+// at every step.
+func FuzzTLBVsReference(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 4, 8, 12, 0})
+	f.Add([]byte("\x00\x04\x08\x0c\x00\x04\x08\x0c\x01\x05\x09\x0d"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nsets, ways, npages = 4, 2, 16
+		tl := New(Config{Name: "F", Entries: nsets * ways, Ways: ways, Latency: 1})
+		// ref[set] holds resident pages, most recently used last.
+		ref := make([][]mem.PageAddr, nsets)
+		var wantHits, wantMisses, wantEvictions int64
+		for i, b := range data {
+			page := mem.PageAddr(b % npages)
+			si := int(uint64(page) % nsets)
+			set := ref[si]
+			pos := -1
+			for j, p := range set {
+				if p == page {
+					pos = j
+					break
+				}
+			}
+			hit := tl.Lookup(page)
+			if hit != (pos >= 0) {
+				t.Fatalf("op %d: Lookup(%d) = %v, reference says %v", i, page, hit, pos >= 0)
+			}
+			if hit {
+				wantHits++
+				ref[si] = append(append(set[:pos], set[pos+1:]...), page)
+			} else {
+				wantMisses++
+				tl.Fill(page) // Translate's fill-on-miss pattern
+				if len(set) >= ways {
+					wantEvictions++
+					set = set[1:]
+				}
+				ref[si] = append(set, page)
+			}
+			s := tl.Stats
+			if s.Hits != wantHits || s.Misses != wantMisses || s.Evictions != wantEvictions {
+				t.Fatalf("op %d: stats {hits %d misses %d evictions %d}, reference says {%d %d %d}",
+					i, s.Hits, s.Misses, s.Evictions, wantHits, wantMisses, wantEvictions)
+			}
+		}
+	})
+}

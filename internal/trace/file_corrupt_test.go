@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// Corrupt-input coverage for the binary trace reader. Each failure mode
+// here is also a seed in testdata/fuzz/FuzzTraceReader, so a behavior
+// change shows up in both the unit run and the fuzz corpus.
+
+// validTrace serializes the given records through Writer.
+func validTrace(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, r := range recs {
+		w.Access(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestReaderEmptyInput(t *testing.T) {
+	_, err := NewReader(bytes.NewReader(nil))
+	if err == nil || !strings.Contains(err.Error(), "reading header") {
+		t.Fatalf("empty input: got %v, want header error", err)
+	}
+}
+
+func TestReaderTruncatedHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("GMTR")))
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated header: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("NOTATRCE-and-some-payload")))
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("bad magic: got %v, want bad-magic error", err)
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	full := validTrace(t, []Record{
+		{PC: 0x400100, Addr: 0x7fff0000, Size: 8},
+		{PC: 0x400108, Addr: 0x7fff0040, Size: 4, Write: true, NonMem: 3, DepDist: 2},
+	})
+	// Chop the second record mid-way: the first must still decode, the
+	// second must fail with the truncation error, never a short record.
+	for cut := 1; cut < recordBytes; cut++ {
+		r, err := NewReader(bytes.NewReader(full[:len(full)-cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: header rejected: %v", cut, err)
+		}
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("cut=%d: first record lost: %v", cut, err)
+		}
+		_, err = r.Next()
+		if err == nil || !strings.Contains(err.Error(), "truncated record") {
+			t.Fatalf("cut=%d: got %v, want truncated-record error", cut, err)
+		}
+	}
+}
+
+func TestReaderHeaderOnly(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(validTrace(t, nil)))
+	if err != nil {
+		t.Fatalf("header-only trace rejected: %v", err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("header-only trace: %d records, err %v", len(recs), err)
+	}
+}
+
+func TestReaderRoundTrip(t *testing.T) {
+	want := []Record{
+		{PC: 1, Addr: mem.Addr(0xdeadbeef), Size: 8, Write: true, NonMem: 65535, DepDist: -1},
+		{PC: 1 << 63, Addr: 0, Size: 0, DepDist: 1 << 30},
+	}
+	r, err := NewReader(bytes.NewReader(validTrace(t, want)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
