@@ -1,0 +1,61 @@
+package cache
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// benchCache is a 32 KiB 8-way cache with a 16-entry MSHR — L1D-class
+// geometry, the per-record hottest structure in the simulator.
+func benchCache() *Cache {
+	return New(Config{Name: "B", SizeBytes: 32 << 10, Ways: 8, Latency: 4, MSHRs: 16})
+}
+
+// BenchmarkLookupHit measures the set scan plus recency update on a
+// resident working set (the dominant cache operation).
+func BenchmarkLookupHit(b *testing.B) {
+	c := benchCache()
+	const blocks = 256 // half capacity: all hits, multiple ways per set
+	for i := 0; i < blocks; i++ {
+		blk := mem.BlockAddr(i)
+		c.Fill(blk, blk.Addr(), 8, false, false, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := mem.BlockAddr(i % blocks)
+		c.Lookup(blk, blk.Addr(), 8, false, false, int64(i))
+	}
+}
+
+// BenchmarkLookupMissFill measures the miss + evicting-fill path on a
+// streaming (capacity-exceeding) block sequence.
+func BenchmarkLookupMissFill(b *testing.B) {
+	c := benchCache()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := mem.BlockAddr(i)
+		now := int64(i)
+		if !c.Lookup(blk, blk.Addr(), 8, false, false, now).Hit {
+			c.Fill(blk, blk.Addr(), 8, false, false, now+10)
+		}
+	}
+}
+
+// BenchmarkMSHRAllocateComplete measures the merge/stall register file
+// under a full churn cycle: allocate, complete, expire.
+func BenchmarkMSHRAllocateComplete(b *testing.B) {
+	m := NewMSHR(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := mem.BlockAddr(i)
+		now := int64(i)
+		if _, inflight := m.Lookup(blk, now); !inflight {
+			start := m.Allocate(blk, now)
+			m.Complete(blk, start+40)
+		}
+	}
+}

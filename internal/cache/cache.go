@@ -79,10 +79,16 @@ type Line struct {
 func (ln *Line) Recency() int64 { return ln.lru }
 
 // Cache is one set-associative cache structure.
+//
+// Lines are stored as one contiguous slab indexed arithmetically by
+// (set, way) rather than a slice-of-slices: the per-record set scan is
+// the hottest loop in the simulator and the slab keeps every way of a
+// set on adjacent cache lines of the host.
 type Cache struct {
 	cfg      Config
-	sets     [][]Line
+	lines    []Line // nsets x ways slab, set-major
 	setMask  uint64
+	ways     int
 	lruClock int64
 	policy   Policy
 	mshr     *MSHR
@@ -96,8 +102,9 @@ func New(cfg Config) *Cache {
 	nsets := cfg.Sets()
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([][]Line, nsets),
+		lines:   make([]Line, nsets*cfg.Ways),
 		setMask: uint64(nsets - 1),
+		ways:    cfg.Ways,
 		policy:  cfg.Policy,
 	}
 	if c.policy == nil {
@@ -105,9 +112,6 @@ func New(cfg Config) *Cache {
 	}
 	if cfg.Distill && (cfg.DistillWOCWays <= 0 || cfg.DistillWOCWays >= cfg.Ways) {
 		panic(fmt.Sprintf("cache %s: bad DistillWOCWays %d for %d ways", cfg.Name, cfg.DistillWOCWays, cfg.Ways))
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]Line, cfg.Ways)
 	}
 	if cfg.MSHRs > 0 {
 		c.mshr = NewMSHR(cfg.MSHRs)
@@ -128,6 +132,11 @@ func (c *Cache) setIndex(blk mem.BlockAddr) int {
 	return int(uint64(blk) & c.setMask)
 }
 
+// set returns the ways of set si as a full-capacity slice into the slab.
+func (c *Cache) set(si int) []Line {
+	return c.lines[si*c.ways : (si+1)*c.ways]
+}
+
 // wordMask returns the distillation used-word bits touched by an access
 // of size bytes at addr.
 func wordMask(addr mem.Addr, size uint8) uint16 {
@@ -136,11 +145,7 @@ func wordMask(addr mem.Addr, size uint8) uint16 {
 	if last > 15 {
 		last = 15
 	}
-	var m uint16
-	for w := first; w <= last; w++ {
-		m |= 1 << w
-	}
-	return m
+	return uint16(1<<(last-first+1)-1) << first
 }
 
 // LookupResult describes the outcome of a Lookup.
@@ -160,22 +165,25 @@ type LookupResult struct {
 // downstream and calling Fill. Prefetch lookups (prefetch=true) count
 // into the separate PFHits/PFMisses so demand MPKI stays clean.
 func (c *Cache) Lookup(blk mem.BlockAddr, addr mem.Addr, size uint8, write, prefetch bool, now int64) LookupResult {
-	set := c.sets[c.setIndex(blk)]
+	set := c.set(c.setIndex(blk))
 	t := now + c.cfg.Latency
 	for w := range set {
 		ln := &set[w]
 		if !ln.Valid || ln.Blk != blk {
 			continue
 		}
+		// wordMask is cheap but not free; compute it only for a
+		// matching candidate, never on the pure-miss scan.
+		wm := wordMask(addr, size)
 		if ln.WOC {
 			// A word-organized entry only serves the words it kept.
-			if ln.Used&wordMask(addr, size) != wordMask(addr, size) {
+			if ln.Used&wm != wm {
 				continue
 			}
 		}
 		c.lruClock++
 		ln.lru = c.lruClock
-		ln.Used |= wordMask(addr, size)
+		ln.Used |= wm
 		if write {
 			ln.Dirty = true
 		}
@@ -202,7 +210,7 @@ func (c *Cache) Lookup(blk mem.BlockAddr, addr mem.Addr, size uint8, write, pref
 // Probe reports whether blk is present (valid, full line or any WOC
 // fragment) without touching recency, stats or used-word state.
 func (c *Cache) Probe(blk mem.BlockAddr) bool {
-	set := c.sets[c.setIndex(blk)]
+	set := c.set(c.setIndex(blk))
 	for w := range set {
 		if set[w].Valid && set[w].Blk == blk {
 			return true
@@ -213,7 +221,7 @@ func (c *Cache) Probe(blk mem.BlockAddr) bool {
 
 // ProbeDirty reports presence and dirtiness without state changes.
 func (c *Cache) ProbeDirty(blk mem.BlockAddr) (present, dirty bool) {
-	set := c.sets[c.setIndex(blk)]
+	set := c.set(c.setIndex(blk))
 	for w := range set {
 		if set[w].Valid && set[w].Blk == blk {
 			return true, set[w].Dirty
@@ -239,7 +247,7 @@ type Victim struct {
 // (write-allocate stores).
 func (c *Cache) Fill(blk mem.BlockAddr, addr mem.Addr, size uint8, write, prefetch bool, readyAt int64) Victim {
 	si := c.setIndex(blk)
-	set := c.sets[si]
+	set := c.set(si)
 	// Refill of a line already present (e.g. prefetch racing a demand
 	// fill): refresh timing only.
 	for w := range set {
@@ -302,7 +310,7 @@ func (c *Cache) distillInsert(si int, v Victim) {
 	if v.Used == 0 {
 		return
 	}
-	set := c.sets[si]
+	set := c.set(si)
 	start := len(set) - c.cfg.DistillWOCWays
 	way := start
 	best := int64(1<<63 - 1)
@@ -331,7 +339,7 @@ func (c *Cache) distillInsert(si int, v Victim) {
 // Invalidate removes blk if present and reports whether it was there and
 // dirty (the caller must write it back if so).
 func (c *Cache) Invalidate(blk mem.BlockAddr) (present, dirty bool) {
-	set := c.sets[c.setIndex(blk)]
+	set := c.set(c.setIndex(blk))
 	for w := range set {
 		if set[w].Valid && set[w].Blk == blk {
 			present = true
@@ -349,7 +357,7 @@ func (c *Cache) MarkPrefetchFill() { c.Stats.Prefetches++ }
 // or never stamped). Like Probe it touches no recency or stats state,
 // so checked and unchecked runs stay counter-identical.
 func (c *Cache) VerOf(blk mem.BlockAddr) uint64 {
-	set := c.sets[c.setIndex(blk)]
+	set := c.set(c.setIndex(blk))
 	for w := range set {
 		if set[w].Valid && set[w].Blk == blk {
 			return set[w].Ver
@@ -361,7 +369,7 @@ func (c *Cache) VerOf(blk mem.BlockAddr) uint64 {
 // SetVer stamps every valid copy of blk with the checker version. The
 // stamp is the only state it touches.
 func (c *Cache) SetVer(blk mem.BlockAddr, ver uint64) {
-	set := c.sets[c.setIndex(blk)]
+	set := c.set(c.setIndex(blk))
 	for w := range set {
 		if set[w].Valid && set[w].Blk == blk {
 			set[w].Ver = ver
@@ -376,11 +384,9 @@ func (c *Cache) Clock() int64 { return c.lruClock }
 // Occupancy returns the number of valid lines (full and WOC).
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for w := range set {
-			if set[w].Valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			n++
 		}
 	}
 	return n
@@ -389,11 +395,9 @@ func (c *Cache) Occupancy() int {
 // ForEachValid calls fn for every valid line; used by invariant checks
 // in tests.
 func (c *Cache) ForEachValid(fn func(ln *Line)) {
-	for _, set := range c.sets {
-		for w := range set {
-			if set[w].Valid {
-				fn(&set[w])
-			}
+	for i := range c.lines {
+		if c.lines[i].Valid {
+			fn(&c.lines[i])
 		}
 	}
 }

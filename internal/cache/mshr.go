@@ -4,14 +4,27 @@ import (
 	"graphmem/internal/mem"
 )
 
+// mshrEntry is one outstanding miss: the block and its fill-ready time.
+type mshrEntry struct {
+	blk   mem.BlockAddr
+	ready int64
+}
+
 // MSHR models a cache's Miss Status Holding Registers with the two
 // effects that matter for timing: (i) a demand access to a block whose
 // miss is already outstanding merges into it and completes when the
 // fill does; (ii) when all registers are busy, a new miss stalls until
 // the earliest outstanding fill completes.
+//
+// The register file is a small fixed-capacity array scanned linearly:
+// capacities are 10-64 entries (Table I), so a contiguous scan beats a
+// map by a wide margin on the per-record hot path and allocates
+// nothing after construction. Ready-time ties on eviction are broken
+// by insertion order (oldest allocation first), which is deterministic
+// run-to-run.
 type MSHR struct {
 	cap     int
-	entries map[mem.BlockAddr]int64 // block -> fill-ready time
+	entries []mshrEntry
 }
 
 // NewMSHR creates an MSHR file with capacity slots.
@@ -19,7 +32,7 @@ func NewMSHR(capacity int) *MSHR {
 	if capacity <= 0 {
 		panic("cache: MSHR capacity must be positive")
 	}
-	return &MSHR{cap: capacity, entries: make(map[mem.BlockAddr]int64, capacity+1)}
+	return &MSHR{cap: capacity, entries: make([]mshrEntry, 0, capacity)}
 }
 
 // Capacity returns the number of registers.
@@ -31,20 +44,37 @@ func (m *MSHR) Capacity() int { return m.cap }
 // Allocate guarantees Len never exceeds Capacity.
 func (m *MSHR) Len() int { return len(m.entries) }
 
+// find returns the index of blk's entry, -1 when absent.
+func (m *MSHR) find(blk mem.BlockAddr) int {
+	for i := range m.entries {
+		if m.entries[i].blk == blk {
+			return i
+		}
+	}
+	return -1
+}
+
+// remove drops the entry at index i, preserving the insertion order of
+// the rest (the deterministic tie-break order).
+func (m *MSHR) remove(i int) {
+	m.entries = append(m.entries[:i], m.entries[i+1:]...)
+}
+
 // Pending reports whether blk currently occupies a register, without
 // the purge side effect of Lookup.
 func (m *MSHR) Pending(blk mem.BlockAddr) bool {
-	_, ok := m.entries[blk]
-	return ok
+	return m.find(blk) >= 0
 }
 
 // purge drops entries whose fills completed at or before now.
 func (m *MSHR) purge(now int64) {
-	for blk, ready := range m.entries {
-		if ready <= now {
-			delete(m.entries, blk)
+	out := m.entries[:0]
+	for _, e := range m.entries {
+		if e.ready > now {
+			out = append(out, e)
 		}
 	}
+	m.entries = out
 }
 
 // Outstanding returns the number of in-flight misses at time now.
@@ -56,12 +86,16 @@ func (m *MSHR) Outstanding(now int64) int {
 // Lookup reports whether blk has an outstanding miss at time now and,
 // if so, when its fill completes (merge case).
 func (m *MSHR) Lookup(blk mem.BlockAddr, now int64) (ready int64, inflight bool) {
-	ready, inflight = m.entries[blk]
-	if inflight && ready <= now {
-		delete(m.entries, blk)
+	i := m.find(blk)
+	if i < 0 {
 		return 0, false
 	}
-	return ready, inflight
+	ready = m.entries[i].ready
+	if ready <= now {
+		m.remove(i)
+		return 0, false
+	}
+	return ready, true
 }
 
 // Allocate reserves a register for a miss on blk issued at time now,
@@ -72,15 +106,14 @@ func (m *MSHR) Allocate(blk mem.BlockAddr, now int64) int64 {
 	m.purge(now)
 	start := now
 	for len(m.entries) >= m.cap {
-		earliest := int64(1<<63 - 1)
-		var victim mem.BlockAddr
-		for b, ready := range m.entries {
-			if ready < earliest {
-				earliest = ready
-				victim = b
+		victim, earliest := 0, m.entries[0].ready
+		for i := 1; i < len(m.entries); i++ {
+			if m.entries[i].ready < earliest {
+				earliest = m.entries[i].ready
+				victim = i
 			}
 		}
-		delete(m.entries, victim)
+		m.remove(victim)
 		if earliest > start {
 			start = earliest
 		}
@@ -88,17 +121,23 @@ func (m *MSHR) Allocate(blk mem.BlockAddr, now int64) int64 {
 	// The entry's ready time is set by Complete once the downstream
 	// latency is known; reserve with a placeholder in the far future so
 	// concurrent allocations see the slot as busy.
-	m.entries[blk] = 1<<63 - 1
+	m.entries = append(m.entries, mshrEntry{blk: blk, ready: 1<<63 - 1})
 	return start
 }
 
 // Complete records the fill time of a previously allocated miss.
 func (m *MSHR) Complete(blk mem.BlockAddr, ready int64) {
-	m.entries[blk] = ready
+	if i := m.find(blk); i >= 0 {
+		m.entries[i].ready = ready
+		return
+	}
+	m.entries = append(m.entries, mshrEntry{blk: blk, ready: ready})
 }
 
 // Abandon releases a reservation without a fill (e.g. the request was
 // satisfied by a remote cache transfer handled elsewhere).
 func (m *MSHR) Abandon(blk mem.BlockAddr) {
-	delete(m.entries, blk)
+	if i := m.find(blk); i >= 0 {
+		m.remove(i)
+	}
 }

@@ -73,10 +73,13 @@ type dirEntry struct {
 // every SDC in sharers must invalidate blk (writing back if dirty).
 type EvictFunc func(blk mem.BlockAddr, sharers uint64)
 
-// SDCDir tracks the contents of all SDCs.
+// SDCDir tracks the contents of all SDCs. Entries live in one
+// contiguous set-major slab (like internal/cache) so the per-probe way
+// scan stays on adjacent host cache lines.
 type SDCDir struct {
 	cfg     Config
-	sets    [][]dirEntry
+	entries []dirEntry // nsets x ways slab, set-major
+	ways    int
 	setMask uint64
 	clock   int64
 	onEvict EvictFunc
@@ -99,11 +102,19 @@ func New(cfg Config, onEvict EvictFunc) *SDCDir {
 	if cfg.Cores > 64 {
 		panic("coherence: sharer vector limited to 64 cores")
 	}
-	d := &SDCDir{cfg: cfg, sets: make([][]dirEntry, nsets), setMask: uint64(nsets - 1), onEvict: onEvict}
-	for i := range d.sets {
-		d.sets[i] = make([]dirEntry, cfg.Ways)
+	return &SDCDir{
+		cfg:     cfg,
+		entries: make([]dirEntry, nsets*cfg.Ways),
+		ways:    cfg.Ways,
+		setMask: uint64(nsets - 1),
+		onEvict: onEvict,
 	}
-	return d
+}
+
+// set returns the ways holding blk's set.
+func (d *SDCDir) set(blk mem.BlockAddr) []dirEntry {
+	si := int(uint64(blk) & d.setMask)
+	return d.entries[si*d.ways : (si+1)*d.ways]
 }
 
 // Config returns the directory configuration.
@@ -113,7 +124,7 @@ func (d *SDCDir) Config() Config { return d.cfg }
 func (d *SDCDir) Latency() int64 { return d.cfg.Latency }
 
 func (d *SDCDir) find(blk mem.BlockAddr) *dirEntry {
-	set := d.sets[uint64(blk)&d.setMask]
+	set := d.set(blk)
 	for w := range set {
 		if set[w].valid && set[w].blk == blk {
 			return &set[w]
@@ -176,7 +187,7 @@ func (d *SDCDir) AddSharer(blk mem.BlockAddr, coreID int, exclusiveWrite bool) {
 }
 
 func (d *SDCDir) allocate(blk mem.BlockAddr) *dirEntry {
-	set := d.sets[uint64(blk)&d.setMask]
+	set := d.set(blk)
 	way, best := 0, int64(1<<63-1)
 	for w := range set {
 		if !set[w].valid {
@@ -229,11 +240,9 @@ func (d *SDCDir) InvalidateAll(blk mem.BlockAddr) (sharers uint64, state State) 
 // Occupancy returns the number of valid directory entries.
 func (d *SDCDir) Occupancy() int {
 	n := 0
-	for _, set := range d.sets {
-		for w := range set {
-			if set[w].valid {
-				n++
-			}
+	for i := range d.entries {
+		if d.entries[i].valid {
+			n++
 		}
 	}
 	return n
@@ -241,11 +250,9 @@ func (d *SDCDir) Occupancy() int {
 
 // ForEach iterates valid entries; used by invariant tests.
 func (d *SDCDir) ForEach(fn func(blk mem.BlockAddr, sharers uint64, state State)) {
-	for _, set := range d.sets {
-		for w := range set {
-			if set[w].valid {
-				fn(set[w].blk, set[w].sharers, set[w].state)
-			}
+	for i := range d.entries {
+		if e := &d.entries[i]; e.valid {
+			fn(e.blk, e.sharers, e.state)
 		}
 	}
 }

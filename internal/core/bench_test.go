@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// BenchmarkLPPredictAndUpdate measures the per-access predictor
+// operation over a PC mix: a few streaming sites (small strides) and an
+// irregular site (large strides), like a traced kernel inner loop.
+func BenchmarkLPPredictAndUpdate(b *testing.B) {
+	lp := NewLP(DefaultLPConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		site := uint64(i % 4)
+		pc := 0x400000 + site*8
+		var blk mem.BlockAddr
+		if site == 3 {
+			blk = mem.BlockAddr((uint64(i) * 2654435761) & 0xFFFFF) // irregular
+		} else {
+			blk = mem.BlockAddr(uint64(i) / 8) // streaming
+		}
+		lp.PredictAndUpdate(pc, blk)
+	}
+}

@@ -53,7 +53,9 @@ type lpEntry struct {
 // An access predicts cache-averse when its entry's s_acc >= τ_glob.
 type LP struct {
 	cfg     LPConfig
-	sets    [][]lpEntry
+	entries []lpEntry // nsets x ways slab, set-major
+	ways    int
+	nsets   int
 	setBits uint
 	clock   int64
 	// PredAverse / PredFriendly / TableMisses count prediction
@@ -70,11 +72,18 @@ func NewLP(cfg LPConfig) *LP {
 	if nsets&(nsets-1) != 0 {
 		panic("core: LP set count must be a power of two")
 	}
-	lp := &LP{cfg: cfg, sets: make([][]lpEntry, nsets), setBits: uint(bits.TrailingZeros(uint(nsets)))}
-	for i := range lp.sets {
-		lp.sets[i] = make([]lpEntry, cfg.Ways)
+	return &LP{
+		cfg:     cfg,
+		entries: make([]lpEntry, cfg.Entries),
+		ways:    cfg.Ways,
+		nsets:   nsets,
+		setBits: uint(bits.TrailingZeros(uint(nsets))),
 	}
-	return lp
+}
+
+// set returns the ways of set si as a slice into the slab.
+func (lp *LP) set(si int) []lpEntry {
+	return lp.entries[si*lp.ways : (si+1)*lp.ways]
 }
 
 // Config returns the predictor's configuration.
@@ -87,7 +96,7 @@ func pcIndex(pc uint64) uint64 { return pc >> 3 }
 
 func (lp *LP) split(pc uint64) (set int, tag uint64) {
 	p := pcIndex(pc)
-	return int(p & uint64(len(lp.sets)-1)), p >> lp.setBits
+	return int(p & uint64(lp.nsets-1)), p >> lp.setBits
 }
 
 // Predict performs a read-only classification of the access (Fig. 4):
@@ -95,7 +104,7 @@ func (lp *LP) split(pc uint64) (set int, tag uint64) {
 // (route to the L1D path). A prediction-table miss predicts friendly.
 func (lp *LP) Predict(pc uint64) bool {
 	si, tag := lp.split(pc)
-	set := lp.sets[si]
+	set := lp.set(si)
 	for w := range set {
 		if set[w].valid && set[w].tag == tag {
 			return set[w].sAcc >= lp.cfg.Tau
@@ -111,7 +120,7 @@ func (lp *LP) Predict(pc uint64) bool {
 // access is classified cache-averse.
 func (lp *LP) PredictAndUpdate(pc uint64, blk mem.BlockAddr) bool {
 	si, tag := lp.split(pc)
-	set := lp.sets[si]
+	set := lp.set(si)
 	lp.clock++
 	for w := range set {
 		e := &set[w]
@@ -163,9 +172,9 @@ func (lp *LP) PredictAndUpdate(pc uint64, blk mem.BlockAddr) bool {
 // false when the PC has no entry.
 func (lp *LP) SAcc(pc uint64) (uint64, bool) {
 	si, tag := lp.split(pc)
-	for w := range lp.sets[si] {
-		e := &lp.sets[si][w]
-		if e.valid && e.tag == tag {
+	set := lp.set(si)
+	for w := range set {
+		if e := &set[w]; e.valid && e.tag == tag {
 			return e.sAcc, true
 		}
 	}

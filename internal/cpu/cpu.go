@@ -101,15 +101,14 @@ func (c *Core) DispatchCycle() int64 {
 	return c.dispatch[(c.seqInstr-1)%c.ringSize]
 }
 
-// step runs one instruction through the dispatch/complete/retire
-// recurrences. complete is computed by the caller from the dispatch
-// time step returns via the closure.
-func (c *Core) step(completeOf func(dispatch int64) int64) (dispatch, completeAt, retireAt int64) {
+// dispatchTime computes the dispatch cycle of the next instruction:
+// width-limited, and blocked until the instruction ROB-positions
+// earlier has retired (its slot frees). The two halves of the old
+// closure-based step recurrence are split into dispatchTime/commit so
+// the memory access between them runs without a closure allocation or
+// indirect call on the per-record hot path.
+func (c *Core) dispatchTime() int64 {
 	i := c.seqInstr
-	idx := i % c.ringSize
-
-	// Dispatch: width-limited, and blocked until the instruction
-	// ROB-positions earlier has retired (its slot frees).
 	d := int64(0)
 	if i > 0 {
 		d = c.dispatch[(i-1)%c.ringSize]
@@ -122,11 +121,14 @@ func (c *Core) step(completeOf func(dispatch int64) int64) (dispatch, completeAt
 			d = r
 		}
 	}
+	return d
+}
 
-	comp := completeOf(d)
-
-	// Retire: in order, width-limited per cycle, not before completion
-	// and not before the previous instruction's retirement.
+// commit finishes the instruction recurrence begun by dispatchTime:
+// in-order retirement, width-limited per cycle, not before completion
+// and not before the previous instruction's retirement.
+func (c *Core) commit(d, comp int64) {
+	i := c.seqInstr
 	r := comp
 	if r < d+1 {
 		r = d + 1
@@ -142,12 +144,12 @@ func (c *Core) step(completeOf func(dispatch int64) int64) (dispatch, completeAt
 		}
 	}
 
+	idx := i % c.ringSize
 	c.dispatch[idx] = d
 	c.retire[idx] = r
 	c.seqInstr++
 	c.Instructions++
 	c.lastRetire = r
-	return d, comp, r
 }
 
 // Access consumes one trace record: its non-memory prelude followed by
@@ -156,7 +158,8 @@ func (c *Core) step(completeOf func(dispatch int64) int64) (dispatch, completeAt
 func (c *Core) Access(r trace.Record) {
 	// Non-memory prelude: single-cycle ops.
 	for k := uint16(0); k < r.NonMem; k++ {
-		c.step(func(d int64) int64 { return d + c.cfg.ExecLatency })
+		d := c.dispatchTime()
+		c.commit(d, d+c.cfg.ExecLatency)
 	}
 
 	recSeq := c.seqRec
@@ -173,34 +176,28 @@ func (c *Core) Access(r trace.Record) {
 		// by a cache level, so program order between a store and the
 		// loads that follow it in the trace is exactly the order of
 		// c.mem calls — no separate retirement-time commit exists.
-		var issued int64
-		c.step(func(d int64) int64 {
-			issued = d
-			return d + 1
-		})
+		issued := c.dispatchTime()
+		c.commit(issued, issued+1)
 		c.mem(r.PC, r.Addr, r.Size, true, issued)
 		c.recComplete[recSeq%c.recRing] = issued + 1
 		return
 	}
 
 	c.Loads++
-	var issue int64
-	var resp mem.Response
-	c.step(func(d int64) int64 {
-		issue = d
-		// A load with a traced dependency cannot issue before the
-		// producing record completed.
-		if r.DepDist > 0 {
-			depSeq := recSeq - int64(r.DepDist)
-			if depSeq >= 0 && recSeq-depSeq < c.recRing {
-				if t := c.recComplete[depSeq%c.recRing]; t > issue {
-					issue = t
-				}
+	d := c.dispatchTime()
+	issue := d
+	// A load with a traced dependency cannot issue before the
+	// producing record completed.
+	if r.DepDist > 0 {
+		depSeq := recSeq - int64(r.DepDist)
+		if depSeq >= 0 && recSeq-depSeq < c.recRing {
+			if t := c.recComplete[depSeq%c.recRing]; t > issue {
+				issue = t
 			}
 		}
-		resp = c.mem(r.PC, r.Addr, r.Size, false, issue)
-		return resp.Ready
-	})
+	}
+	resp := c.mem(r.PC, r.Addr, r.Size, false, issue)
+	c.commit(d, resp.Ready)
 	c.recComplete[recSeq%c.recRing] = resp.Ready
 	c.LoadLatency += resp.Ready - issue
 }

@@ -1,0 +1,50 @@
+package dram
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// BenchmarkChannelAccessRandom measures the per-request timing path
+// under bank-spreading random reads (the graph-workload access shape).
+func BenchmarkChannelAccessRandom(b *testing.B) {
+	ch := NewChannel(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		// LCG spreads blocks over banks and rows deterministically.
+		blk := mem.BlockAddr((uint64(i)*2654435761 + 12345) & 0xFFFFF)
+		done := ch.Access(blk, false, now)
+		now = done - ch.MinLatency() // keep pressure without runaway queueing
+	}
+}
+
+// BenchmarkChannelAccessStream measures the row-hit fast path.
+func BenchmarkChannelAccessStream(b *testing.B) {
+	ch := NewChannel(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		done := ch.Access(mem.BlockAddr(i), false, now)
+		now = done - ch.MinLatency()
+	}
+}
+
+// BenchmarkMemoryTotalStats measures the controller-wide stats read the
+// epoch sampler performs per sample; it must not scale with geometry.
+func BenchmarkMemoryTotalStats(b *testing.B) {
+	m := NewMemory(DefaultConfig(), 2)
+	for i := 0; i < 1024; i++ {
+		m.Access(mem.BlockAddr(i*97), false, int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s Stats
+	for i := 0; i < b.N; i++ {
+		s = m.TotalStats()
+	}
+	_ = s
+}

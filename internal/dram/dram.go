@@ -69,6 +69,10 @@ type Channel struct {
 	busFree  int64 // CPU cycle at which the data bus is next free
 	rowShift uint  // log2(RowBytes)
 	Stats    Stats
+	// agg, when non-nil, receives every counter increment so the owning
+	// Memory's TotalStats is O(1) instead of a per-call sum over the
+	// full channel geometry (the epoch sampler reads it per sample).
+	agg *Stats
 }
 
 // NewChannel builds a channel from cfg.
@@ -134,6 +138,9 @@ func (c *Channel) Access(blk mem.BlockAddr, write bool, now int64) int64 {
 
 	if write {
 		c.Stats.Writes++
+		if c.agg != nil {
+			c.agg.Writes++
+		}
 		b.openRow = row
 		return now
 	}
@@ -144,11 +151,13 @@ func (c *Channel) Access(blk mem.BlockAddr, write bool, now int64) int64 {
 	}
 
 	var cmdCycles int64
+	var hit, conflict bool
 	switch {
 	case b.openRow == row:
 		// Row-buffer hit: column access only.
 		cmdCycles = c.cfg.TCAS
 		c.Stats.RowHits++
+		hit = true
 	case b.openRow < 0:
 		// Bank precharged: activate + column access.
 		cmdCycles = c.cfg.TRCD + c.cfg.TCAS
@@ -158,6 +167,7 @@ func (c *Channel) Access(blk mem.BlockAddr, write bool, now int64) int64 {
 		cmdCycles = c.cfg.TRP + c.cfg.TRCD + c.cfg.TCAS
 		c.Stats.RowMisses++
 		c.Stats.RowConflicts++
+		conflict = true
 	}
 	b.openRow = row
 
@@ -174,6 +184,19 @@ func (c *Channel) Access(blk mem.BlockAddr, write bool, now int64) int64 {
 
 	c.Stats.Reads++
 	c.Stats.TotalServiceLatency += done - now
+	if c.agg != nil {
+		if hit {
+			c.agg.RowHits++
+		} else {
+			c.agg.RowMisses++
+			if conflict {
+				c.agg.RowConflicts++
+			}
+		}
+		c.agg.BusyCycles += burst
+		c.agg.Reads++
+		c.agg.TotalServiceLatency += done - now
+	}
 	return done
 }
 
@@ -204,6 +227,10 @@ func (c *Channel) AvgReadLatency() float64 {
 // addresses interleaved across them.
 type Memory struct {
 	channels []*Channel
+	// total is maintained incrementally by the channels (see
+	// Channel.agg) so TotalStats stays O(1) under high-frequency epoch
+	// sampling regardless of channel/bank geometry.
+	total Stats
 }
 
 // NewMemory creates n identically configured channels.
@@ -213,7 +240,9 @@ func NewMemory(cfg Config, n int) *Memory {
 	}
 	m := &Memory{}
 	for i := 0; i < n; i++ {
-		m.channels = append(m.channels, NewChannel(cfg))
+		ch := NewChannel(cfg)
+		ch.agg = &m.total
+		m.channels = append(m.channels, ch)
 	}
 	return m
 }
@@ -229,17 +258,6 @@ func (m *Memory) MinLatency() int64 { return m.channels[0].MinLatency() }
 // Channels exposes the per-channel state for stats reporting.
 func (m *Memory) Channels() []*Channel { return m.channels }
 
-// TotalStats sums stats over all channels.
-func (m *Memory) TotalStats() Stats {
-	var s Stats
-	for _, ch := range m.channels {
-		s.Reads += ch.Stats.Reads
-		s.Writes += ch.Stats.Writes
-		s.RowHits += ch.Stats.RowHits
-		s.RowMisses += ch.Stats.RowMisses
-		s.RowConflicts += ch.Stats.RowConflicts
-		s.BusyCycles += ch.Stats.BusyCycles
-		s.TotalServiceLatency += ch.Stats.TotalServiceLatency
-	}
-	return s
-}
+// TotalStats returns the incrementally maintained sum over all
+// channels in O(1).
+func (m *Memory) TotalStats() Stats { return m.total }

@@ -1,0 +1,22 @@
+package graph
+
+import "testing"
+
+// BenchmarkBuildKron measures synthetic graph construction end to end
+// (R-MAT edge generation plus the CSR build's per-vertex sort/dedupe);
+// the harness re-runs it once per memoized graph.
+func BenchmarkBuildKron(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Kron(16, 8, 42)
+	}
+}
+
+// BenchmarkBuildUrand measures the uniform-random generator (cheaper
+// edges, same CSR build).
+func BenchmarkBuildUrand(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Urand(1<<16, 8<<16, 42)
+	}
+}

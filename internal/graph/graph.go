@@ -6,6 +6,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -99,7 +100,14 @@ func Build(n int32, edges []Edge, weighted bool) *Graph {
 			ws := w[lo:hi]
 			sort.Sort(&edgeSorter{seg, ws})
 		} else {
-			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			// Equal int32 keys are indistinguishable, so the unstable
+			// pdqsort here yields the same slice as the reflection-based
+			// sort.Slice it replaced — at a fraction of the cost (Build
+			// re-runs per memoized graph construction). The weighted
+			// branch above must keep its exact sort: duplicate edges
+			// carry distinct weights and dedupe keeps the first, so the
+			// algorithm's tie order is load-bearing there.
+			slices.Sort(seg)
 		}
 		var prev int32 = -1
 		for i, v := range seg {

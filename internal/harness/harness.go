@@ -224,6 +224,9 @@ func (wb *Workbench) Graph(name string) *graph.Graph {
 	if l, ok := wb.building[name]; ok {
 		wb.mu.Unlock()
 		<-l.done
+		if l.panicked != nil {
+			panic(l.panicked)
+		}
 		return l.g
 	}
 	spec, ok := wb.Profile.Graphs[name]
@@ -234,6 +237,19 @@ func (wb *Workbench) Graph(name string) *graph.Graph {
 	l := &graphLatch{done: make(chan struct{})}
 	wb.building[name] = l
 	wb.mu.Unlock()
+
+	defer func() {
+		if p := recover(); p != nil {
+			// Unregister the failed build and unblock joiners with the
+			// panic value; a later call may retry the key.
+			wb.mu.Lock()
+			delete(wb.building, name)
+			wb.mu.Unlock()
+			l.panicked = p
+			close(l.done)
+			panic(p)
+		}
+	}()
 
 	wb.log("building graph %s (%s profile)", name, wb.Profile.Name)
 	g := spec.Build()
@@ -327,6 +343,9 @@ func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 	if l, ok := wb.running[key]; ok {
 		wb.mu.Unlock()
 		<-l.done
+		if l.panicked != nil {
+			panic(l.panicked)
+		}
 		wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f", l.res.IPC()))
 		return l.res
 	}
@@ -335,12 +354,25 @@ func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 	wb.mu.Unlock()
 
 	wb.acquire()
+	defer wb.release()
+	defer func() {
+		if p := recover(); p != nil {
+			// A crashed run must not poison the pool: unregister the key
+			// so later callers retry, hand joiners the panic value, and
+			// let the deferred release free the worker slot.
+			wb.mu.Lock()
+			delete(wb.running, key)
+			wb.mu.Unlock()
+			l.panicked = p
+			close(l.done)
+			panic(p)
+		}
+	}()
 	cfg = wb.configured(cfg)
 	w := wb.Workload(id, 0)
 	finish := wb.Reporter.StartRun(label)
 	res := sim.RunSingleCore(cfg, w)
 	finish(fmt.Sprintf("IPC=%.3f", res.IPC()))
-	wb.release()
 	wb.recordCheck(res.Check)
 
 	wb.mu.Lock()

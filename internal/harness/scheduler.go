@@ -40,15 +40,21 @@ func jobsFor(cfg sim.Config, ids []WorkloadID) []runReq {
 
 // runLatch is the single-flight handle of an in-flight RunSingle: the
 // owner stores the result and closes done; joiners wait and share it.
+// If the owning run panics, the owner records the panic value here and
+// still closes done, so joiners re-panic instead of deadlocking and
+// the key is retried (not poisoned) by later callers.
 type runLatch struct {
-	done chan struct{}
-	res  *sim.Result
+	done     chan struct{}
+	res      *sim.Result
+	panicked any
 }
 
-// graphLatch is the single-flight handle of an in-flight graph build.
+// graphLatch is the single-flight handle of an in-flight graph build,
+// with the same panic propagation contract as runLatch.
 type graphLatch struct {
-	done chan struct{}
-	g    *graph.Graph
+	done     chan struct{}
+	g        *graph.Graph
+	panicked any
 }
 
 // ipcLatch is the single-flight handle of an in-flight isolated-IPC

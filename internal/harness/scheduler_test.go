@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"graphmem/internal/graph"
+	"graphmem/internal/sim"
+)
+
+// TestRunSinglePanicPropagation pins the worker pool's crash contract:
+// when a memoized run panics, the owner and every joiner observe the
+// panic (no deadlock), the key is unregistered so later callers retry
+// instead of joining a dead latch, and the owner's pool slot is
+// released so the pool stays usable.
+func TestRunSinglePanicPropagation(t *testing.T) {
+	wb := NewWorkbench(fastBench())
+	// One slot: a leaked slot would hang the follow-up run below.
+	wb.Parallelism = 1
+
+	bad := WorkloadID{Kernel: "nope", Graph: "reg"}
+	cfg := wb.Profile.BaseConfig(1)
+
+	// Two concurrent requests for the same crashing key: whichever
+	// becomes the owner panics inside Workload(); the other either joins
+	// the latch or retries after the key is unregistered. Both must
+	// observe a panic.
+	panics := make([]any, 2)
+	var wg sync.WaitGroup
+	for i := range panics {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			wb.RunSingle(cfg, bad)
+		}()
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p == nil {
+			t.Fatalf("goroutine %d returned without observing the panic", i)
+		}
+		if s, ok := p.(string); !ok || s != "harness: unknown regular kernel nope" {
+			t.Errorf("goroutine %d recovered %v; want the Workload panic value", i, p)
+		}
+	}
+
+	// The crashed key must not linger as an in-flight latch.
+	wb.mu.Lock()
+	_, stuck := wb.running[runKey(cfg, bad)]
+	wb.mu.Unlock()
+	if stuck {
+		t.Error("crashed run left its latch registered")
+	}
+
+	// A retry of the same key re-executes (and re-panics) rather than
+	// joining a poisoned latch.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("retry of the crashed key did not re-execute")
+			}
+		}()
+		wb.RunSingle(cfg, bad)
+	}()
+
+	// The single worker slot must have been released: a valid run on the
+	// same pool completes. Run it on a watchdog so a leaked slot fails
+	// crisply instead of timing out the package.
+	done := make(chan *sim.Result, 1)
+	go func() { done <- wb.RunSingle(cfg, WorkloadID{Kernel: "triad", Graph: "reg"}) }()
+	select {
+	case r := <-done:
+		if r == nil || r.IPC() <= 0 {
+			t.Errorf("follow-up run returned %v; want a live result", r)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("follow-up run hung: crashed run leaked its worker slot")
+	}
+}
+
+// TestGraphBuildPanicRetries pins the same contract for the graph
+// single-flight: a panicking build propagates to its caller, is
+// unregistered, and a later request retries the build.
+func TestGraphBuildPanicRetries(t *testing.T) {
+	p := fastBench()
+	want := graph.Kron(8, 4, 1)
+	calls := 0
+	p.Graphs = map[string]GraphSpec{
+		"flaky": {Name: "flaky", Build: func() *graph.Graph {
+			calls++
+			if calls == 1 {
+				panic("flaky build")
+			}
+			return want
+		}},
+	}
+	wb := NewWorkbench(p)
+
+	func() {
+		defer func() {
+			if p := recover(); p != "flaky build" {
+				t.Fatalf("first Graph call recovered %v; want the build panic", p)
+			}
+		}()
+		wb.Graph("flaky")
+	}()
+
+	if g := wb.Graph("flaky"); g != want {
+		t.Errorf("retry returned %p; want the rebuilt graph %p", g, want)
+	}
+	if calls != 2 {
+		t.Errorf("build ran %d times; want 2 (panic, then retry)", calls)
+	}
+}
+
+// TestParallelismExceedsJobCount runs a pool far wider than the job
+// list: the excess slots must be harmless — all jobs complete, the
+// progress plan closes exactly, and the results are bit-identical to a
+// sequential schedule.
+func TestParallelismExceedsJobCount(t *testing.T) {
+	ids := []WorkloadID{
+		{Kernel: "triad", Graph: "reg"},
+		{Kernel: "matvec", Graph: "reg"},
+		{Kernel: "stencil", Graph: "reg"},
+	}
+	run := func(parallelism int) (*Workbench, []*sim.Result) {
+		wb := NewWorkbench(fastBench())
+		wb.Parallelism = parallelism
+		return wb, wb.runAll(jobsFor(wb.BaseConfig(), ids))
+	}
+	wbWide, wide := run(64)
+	_, narrow := run(1)
+
+	if len(wide) != len(ids) {
+		t.Fatalf("got %d results for %d jobs", len(wide), len(ids))
+	}
+	for i := range wide {
+		if wide[i] == nil || narrow[i] == nil {
+			t.Fatalf("job %d returned nil result", i)
+		}
+		if wide[i].IPC() != narrow[i].IPC() {
+			t.Errorf("%s: IPC %v at -j 64 vs %v at -j 1", ids[i], wide[i].IPC(), narrow[i].IPC())
+		}
+	}
+	done, total, _, _ := wbWide.Reporter.Snapshot()
+	if done != total || done != len(ids) {
+		t.Errorf("progress did not close: %d/%d done, want %d/%d", done, total, len(ids), len(ids))
+	}
+}

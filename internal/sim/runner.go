@@ -59,8 +59,22 @@ const noEpoch = math.MaxInt64
 // observe processes one record through the core and advances the
 // window state machine. It returns false once the measure window is
 // complete.
+//
+// The fast path is a single comparison: nextEvent is the earliest of
+// every armed boundary (invariant sweep, warm-up end, epoch sample,
+// measure-window end), recomputed by rearm whenever any of them moves.
+// Records between boundaries pay one compare and one branch.
 func (c *coreCtx) observe(r trace.Record) bool {
 	c.cpuCore.Access(r)
+	if c.cpuCore.Instructions < c.nextEvent {
+		return !c.doneMeasure
+	}
+	return c.observeSlow()
+}
+
+// observeSlow handles a record that reached a boundary: it runs the
+// full check cascade and re-arms nextEvent.
+func (c *coreCtx) observeSlow() bool {
 	if c.cpuCore.Instructions >= c.nextSweep {
 		c.nextSweep = c.cpuCore.Instructions + checkSweepEvery
 		c.sys.CheckInvariants()
@@ -70,6 +84,7 @@ func (c *coreCtx) observe(r trace.Record) bool {
 		if c.cpuCore.Instructions >= cfg.Warmup {
 			c.beginMeasure()
 		}
+		c.rearm()
 		return true
 	}
 	if c.cpuCore.Instructions >= c.nextEpoch {
@@ -81,7 +96,28 @@ func (c *coreCtx) observe(r trace.Record) bool {
 		c.closeEpochs(end)
 		c.doneMeasure = true
 	}
+	c.rearm()
 	return !c.doneMeasure
+}
+
+// rearm recomputes nextEvent as the minimum pending boundary for the
+// current window state.
+func (c *coreCtx) rearm() {
+	ne := c.nextSweep
+	cfg := c.sys.cfg
+	if !c.inMeasure {
+		if cfg.Warmup < ne {
+			ne = cfg.Warmup
+		}
+	} else if !c.doneMeasure {
+		if c.nextEpoch < ne {
+			ne = c.nextEpoch
+		}
+		if end := c.baseCounters.Instructions + cfg.Measure; end < ne {
+			ne = end
+		}
+	}
+	c.nextEvent = ne
 }
 
 // beginMeasure opens the measurement window at the current counters and
@@ -150,6 +186,7 @@ func (c *coreCtx) finish() {
 	c.measured = stats.Delta(end, c.baseCounters)
 	c.closeEpochs(end)
 	c.doneMeasure = true
+	c.rearm()
 }
 
 // singleSink adapts a coreCtx to trace.Sink for single-core runs.

@@ -75,6 +75,11 @@ type coreCtx struct {
 	noSPP   bool
 
 	pfBuf []mem.BlockAddr
+	// sppBuf holds l2Access's SPP candidates across the recursive
+	// prefetch walk (which reuses pfBuf), so the demand path allocates
+	// nothing per record. l2Access never nests inside itself with
+	// pf=false, so one buffer per core suffices.
+	sppBuf []mem.BlockAddr
 
 	// Window accounting.
 	inMeasure    bool
@@ -106,6 +111,11 @@ type coreCtx struct {
 	// nextSweep triggers the periodic invariant sweep (check.Full),
 	// armed like nextEpoch so the hot loop pays one comparison.
 	nextSweep int64
+	// nextEvent is the earliest of every armed boundary above (sweep,
+	// warm-up end, epoch, measure end); observe's fast path compares
+	// the instruction count against it once per record. Zero initially
+	// so the first record takes the slow path and arms it.
+	nextEvent int64
 }
 
 // checkSweepEvery is the retired-instruction period of the structural
@@ -876,11 +886,12 @@ func (c *coreCtx) l2Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write, 
 
 	// SPP trains on every L2 demand access and issues lookahead
 	// prefetches into the L2 (prefetch traffic does not re-train it).
-	var cands []mem.BlockAddr
+	cands := c.sppBuf[:0]
 	if !pf && !c.noSPP {
 		c.pfBuf = c.l2pf.OnAccess(blk, res.Hit, c.pfBuf[:0])
 		cands = append(cands, c.pfBuf...)
 	}
+	c.sppBuf = cands
 
 	var resp mem.Response
 	if res.Hit {

@@ -1,0 +1,40 @@
+package tlb
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// BenchmarkTranslate measures the full translation path — DTLB, STLB,
+// and the occasional page walk — over a page stream with graph-workload
+// locality (hot region plus random far pages).
+func BenchmarkTranslate(b *testing.B) {
+	h := DefaultHierarchy(mem.Addr(1)<<40, func(addr mem.Addr, now int64) int64 {
+		return now + 100
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var page mem.PageAddr
+		if i%8 != 0 {
+			page = mem.PageAddr(i % 32) // hot: DTLB-resident
+		} else {
+			page = mem.PageAddr((uint64(i)*2654435761)%(1<<20) + 64)
+		}
+		h.Translate(page, int64(i))
+	}
+}
+
+// BenchmarkTLBLookupHit measures the bare set scan on a resident page.
+func BenchmarkTLBLookupHit(b *testing.B) {
+	t := New(Config{Name: "DTLB", Entries: 64, Ways: 4, Latency: 1})
+	for p := 0; p < 32; p++ {
+		t.Fill(mem.PageAddr(p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(mem.PageAddr(i % 32))
+	}
+}

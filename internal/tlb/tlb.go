@@ -30,9 +30,12 @@ type entry struct {
 }
 
 // TLB is a set-associative translation buffer with LRU replacement.
+// Entries live in one contiguous set-major slab (like internal/cache)
+// so the per-access way scan stays on adjacent host cache lines.
 type TLB struct {
 	cfg     Config
-	sets    [][]entry
+	entries []entry // nsets x ways slab, set-major
+	ways    int
 	setMask uint64
 	clock   int64
 	Stats   stats.CacheStats
@@ -44,11 +47,18 @@ func New(cfg Config) *TLB {
 	if nsets <= 0 || nsets&(nsets-1) != 0 {
 		panic("tlb: set count must be a positive power of two")
 	}
-	t := &TLB{cfg: cfg, sets: make([][]entry, nsets), setMask: uint64(nsets - 1)}
-	for i := range t.sets {
-		t.sets[i] = make([]entry, cfg.Ways)
+	return &TLB{
+		cfg:     cfg,
+		entries: make([]entry, nsets*cfg.Ways),
+		ways:    cfg.Ways,
+		setMask: uint64(nsets - 1),
 	}
-	return t
+}
+
+// set returns the ways holding page's set.
+func (t *TLB) set(page mem.PageAddr) []entry {
+	si := int(uint64(page) & t.setMask)
+	return t.entries[si*t.ways : (si+1)*t.ways]
 }
 
 // Latency returns the lookup latency in cycles.
@@ -56,7 +66,7 @@ func (t *TLB) Latency() int64 { return t.cfg.Latency }
 
 // Lookup probes for page's translation, updating recency and stats.
 func (t *TLB) Lookup(page mem.PageAddr) bool {
-	set := t.sets[uint64(page)&t.setMask]
+	set := t.set(page)
 	for w := range set {
 		if set[w].valid && set[w].page == page {
 			t.clock++
@@ -71,7 +81,7 @@ func (t *TLB) Lookup(page mem.PageAddr) bool {
 
 // Fill inserts page's translation, evicting LRU.
 func (t *TLB) Fill(page mem.PageAddr) {
-	set := t.sets[uint64(page)&t.setMask]
+	set := t.set(page)
 	way, best := 0, int64(1<<63-1)
 	for w := range set {
 		if !set[w].valid {
