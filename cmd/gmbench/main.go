@@ -186,7 +186,44 @@ type benchJSON struct {
 	J1Ms       float64     `json:"j1_ms"`
 	JnMs       float64     `json:"jn_ms"`
 	Speedup    float64     `json:"speedup"`
+	Host       hostInfo    `json:"host"`
 	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+// hostInfo records where the numbers were produced: benchmark artifacts
+// are only comparable across runs on like hardware, so the machine
+// shape travels with the data.
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+// captureHost snapshots the host shape. The CPU model comes from
+// /proc/cpuinfo and is best-effort: absent (non-Linux, restricted
+// container) it is simply omitted from the artifact.
+func captureHost() hostInfo {
+	h := hostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(name, ":"); ok {
+					h.CPUModel = strings.TrimSpace(v)
+					break
+				}
+			}
+		}
+	}
+	return h
 }
 
 type benchLine struct {
@@ -314,6 +351,7 @@ func main() {
 			J1Ms:    sumBase / 1e6,
 			JnMs:    sumCur / 1e6,
 			Speedup: speedup,
+			Host:    captureHost(),
 		}
 		out.Benchmarks = lines
 		data, err := json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCaptureHost(t *testing.T) {
+	h := captureHost()
+	if h.GoVersion != runtime.Version() {
+		t.Errorf("go version = %q", h.GoVersion)
+	}
+	if h.GOOS != runtime.GOOS || h.GOARCH != runtime.GOARCH {
+		t.Errorf("platform = %s/%s", h.GOOS, h.GOARCH)
+	}
+	if h.NumCPU < 1 || h.GOMAXPROCS < 1 {
+		t.Errorf("cpu counts = %d/%d", h.NumCPU, h.GOMAXPROCS)
+	}
+	if runtime.GOOS == "linux" && h.CPUModel != "" && strings.TrimSpace(h.CPUModel) != h.CPUModel {
+		t.Errorf("cpu model not trimmed: %q", h.CPUModel)
+	}
+
+	data, err := json.Marshal(benchJSON{Host: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"go_version"`) {
+		t.Errorf("host block missing from artifact JSON: %s", data)
+	}
+}

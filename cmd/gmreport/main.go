@@ -33,7 +33,10 @@ var allExperiments = []string{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(allExperiments, ",")+") or 'all'")
+	// "latency" (the flight-recorder breakdown) is opt-in: it re-runs
+	// workloads with the recorder on, so 'all' excludes it to keep the
+	// default sweep identical to earlier releases.
+	exp := flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(allExperiments, ",")+",latency) or 'all'")
 	profileName := flag.String("profile", "small", "scale profile: bench|small|full")
 	kernelsFlag := flag.String("kernels", "", "restrict to these kernels (comma separated)")
 	graphsFlag := flag.String("graphs", "", "restrict to these graphs (comma separated)")
@@ -42,6 +45,7 @@ func main() {
 	outDir := flag.String("out", "", "also write each table as <dir>/<id>.txt and .csv plus a sweep manifest.json")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	checkFlag := flag.String("check", "off", "differential checking: off|oracle|full (exit 1 on any violation)")
+	metricsAddr := flag.String("metrics", "", "serve live sweep metrics (Prometheus text + expvar) on this address, e.g. :6060")
 	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -72,6 +76,15 @@ func main() {
 		os.Exit(1)
 	}
 	wb.CheckLevel = checkLevel
+	if *metricsAddr != "" {
+		wb.Metrics = graphmem.NewMetrics()
+		addr, err := wb.Metrics.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmreport:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gmreport: serving metrics at http://%s/metrics\n", addr)
+	}
 	if !*quiet {
 		// All progress (run/cached lines with done/total and ETA,
 		// narration) flows through the workbench's obs.Progress reporter;
@@ -199,6 +212,8 @@ func buildTable(wb *harness.Workbench, id string, subset []graphmem.WorkloadID) 
 		return wb.Fig13(subset).Table(), nil
 	case "energy":
 		return wb.Energy(subset).Table(), nil
+	case "latency":
+		return wb.LatencyBreakdown(subset).Table(), nil
 	case "fig14":
 		var mixes [][]graphmem.WorkloadID
 		if subset != nil {

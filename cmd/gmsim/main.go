@@ -59,6 +59,9 @@ func main() {
 	measure := flag.Int64("measure", 0, "override measured instructions")
 	epoch := flag.Int64("epoch", 0, "sample telemetry every N retired instructions (0 = off)")
 	checkFlag := flag.String("check", "off", "differential checking: off|oracle|full (exit 1 on any violation)")
+	frPath := flag.String("fr", "", "enable the memory-hierarchy flight recorder and write a Perfetto/Chrome trace to this path")
+	frInterval := flag.Int64("frint", 0, "flight-recorder occupancy sampling interval in retired instructions (0 = measure/256)")
+	metricsAddr := flag.String("metrics", "", "serve live metrics (Prometheus text + expvar) on this address, e.g. :6060")
 	jobs := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); a single run uses one slot")
 	jsonOut := flag.Bool("json", false, "emit a structured run manifest on stdout instead of text")
 	verbose := flag.Bool("v", false, "log run progress")
@@ -98,6 +101,15 @@ func main() {
 		os.Exit(1)
 	}
 	wb.CheckLevel = checkLevel
+	if *metricsAddr != "" {
+		wb.Metrics = graphmem.NewMetrics()
+		addr, err := wb.Metrics.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gmsim: serving metrics at http://%s/metrics\n", addr)
+	}
 
 	cfg, err := configByName(profile.BaseConfig(1), *configName)
 	if err != nil {
@@ -107,10 +119,22 @@ func main() {
 	if *epoch > 0 {
 		cfg = cfg.WithEpochInterval(*epoch)
 	}
+	if *frPath != "" {
+		cfg = cfg.WithFlightRecorder(*frInterval)
+	}
 	id := graphmem.WorkloadID{Kernel: *kernel, Graph: *graphName}
 	start := time.Now()
 	res := wb.RunSingle(cfg, id)
 	s := &res.Stats
+	if *frPath != "" {
+		err := graphmem.WritePerfettoTrace(*frPath, []graphmem.TraceRun{
+			{Name: cfg.Name + "/" + id.String(), Rec: res.Recorder},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmsim:", err)
+			os.Exit(1)
+		}
+	}
 	checkFailed := checkLevel != graphmem.CheckOff && res.Check.Violations > 0
 	if checkFailed {
 		fmt.Fprintf(os.Stderr, "gmsim: differential checker found %d violation(s):\n", res.Check.Violations)
@@ -128,6 +152,7 @@ func main() {
 		m.Final = res.Stats
 		m.Derived = graphmem.DeriveMetrics(&res.Stats)
 		m.Epochs = res.Epochs
+		m.FlightRecorder = res.Recorder
 		if checkLevel != graphmem.CheckOff {
 			m.Check = &res.Check
 		}
@@ -163,6 +188,13 @@ func main() {
 	if len(res.Epochs) > 0 {
 		fmt.Printf("epochs      %d samples every %d instructions (use -json to export the series)\n",
 			len(res.Epochs), *epoch)
+	}
+	if rec := res.Recorder; rec != nil {
+		h := rec.LoadToUse
+		fmt.Printf("load-to-use p50 %d  p90 %d  p99 %d cycles  (mean %.1f, max %d)\n",
+			h.P50, h.P90, h.P99, h.Mean, h.Max)
+		fmt.Printf("flight rec  %d timeline samples -> %s (open in ui.perfetto.dev)\n",
+			len(rec.Samples), *frPath)
 	}
 	if checkLevel != graphmem.CheckOff {
 		fmt.Printf("check       level %s  loads %d  stores %d  sweeps %d  unknown %d  violations %d\n",

@@ -74,6 +74,16 @@ type (
 	Manifest = obs.Manifest
 	// EpochSample is one entry of the per-epoch telemetry series.
 	EpochSample = obs.EpochSample
+	// RecorderSummary is the flight-recorder outcome attached to
+	// recorded results and manifests.
+	RecorderSummary = obs.RecSummary
+	// OccupancySample is one point of the recorder's occupancy timeline.
+	OccupancySample = obs.OccSample
+	// TraceRun names one run's recorder summary for Perfetto export.
+	TraceRun = obs.TraceRun
+	// MetricsServer is the live Prometheus/expvar metrics registry
+	// behind gmsim/gmreport -metrics.
+	MetricsServer = obs.Metrics
 	// SweepProgress tracks runs done/planned with ETA reporting.
 	SweepProgress = obs.Progress
 	// ProfilingFlags holds the shared -cpuprofile/-memprofile/-trace
@@ -181,7 +191,13 @@ var (
 	WriteEpochsCSV = obs.WriteEpochsCSV
 	// WriteEpochsJSONL writes one JSON object per (core, epoch).
 	WriteEpochsJSONL = obs.WriteEpochsJSONL
+	// WritePerfettoTrace writes flight-recorder timelines as a
+	// Perfetto-loadable Chrome trace-event JSON file.
+	WritePerfettoTrace = obs.WritePerfettoFile
 )
+
+// NewMetrics creates the live metrics registry served by -metrics.
+func NewMetrics() *MetricsServer { return obs.NewMetrics() }
 
 // Budget computes the Table IV per-core hardware budget.
 func Budget(sdcBytes, lpEntries, sdcDirEntries, cores int) []BudgetEntry {

@@ -119,6 +119,15 @@ func New(cfg Config) *Cache {
 	return c
 }
 
+// SetTap attaches (nil detaches) the flight-recorder hook to the
+// cache's MSHR file, tagging events with the cache's serving level.
+// A no-op for caches without MSHRs.
+func (c *Cache) SetTap(t mem.Tap, level mem.ServedBy) {
+	if c.mshr != nil {
+		c.mshr.SetTap(t, level)
+	}
+}
+
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 

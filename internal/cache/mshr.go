@@ -25,6 +25,12 @@ type mshrEntry struct {
 type MSHR struct {
 	cap     int
 	entries []mshrEntry
+	// tap, when non-nil, receives allocation/stall telemetry for the
+	// flight recorder; level identifies the owning cache. Both are set
+	// by Cache.SetTap for the measurement window only, so the disabled
+	// cost is one interface nil-check per Allocate.
+	tap   mem.Tap
+	level mem.ServedBy
 }
 
 // NewMSHR creates an MSHR file with capacity slots.
@@ -37,6 +43,26 @@ func NewMSHR(capacity int) *MSHR {
 
 // Capacity returns the number of registers.
 func (m *MSHR) Capacity() int { return m.cap }
+
+// SetTap attaches (or, with a nil tap, detaches) the flight-recorder
+// hook, tagging its events with the owning cache's serving level.
+func (m *MSHR) SetTap(t mem.Tap, level mem.ServedBy) {
+	m.tap = t
+	m.level = level
+}
+
+// InFlight counts entries whose fills are still outstanding at time
+// now. Unlike Outstanding it never mutates state, so the occupancy
+// sampler can call it at any timestamp without perturbing the run.
+func (m *MSHR) InFlight(now int64) int {
+	n := 0
+	for i := range m.entries {
+		if m.entries[i].ready > now {
+			n++
+		}
+	}
+	return n
+}
 
 // Len returns the number of allocated entries, including ones whose
 // fills have completed but have not been purged yet. Unlike Outstanding
@@ -116,6 +142,12 @@ func (m *MSHR) Allocate(blk mem.BlockAddr, now int64) int64 {
 		m.remove(victim)
 		if earliest > start {
 			start = earliest
+		}
+	}
+	if m.tap != nil {
+		m.tap.MSHRAlloc(m.level, len(m.entries))
+		if start > now {
+			m.tap.MSHRStall(m.level, start-now)
 		}
 	}
 	// The entry's ready time is set by Complete once the downstream

@@ -63,6 +63,12 @@ type Core struct {
 	Stores       int64
 	LoadLatency  int64
 
+	// Tap, when non-nil, receives every demand load's issue-to-ready
+	// latency (the flight-recorder hook; see mem.Tap). internal/sim
+	// attaches it for the measurement window only; the disabled cost is
+	// one interface nil-check per load.
+	Tap mem.Tap
+
 	lastRetire int64 // retirement time of the newest instruction
 }
 
@@ -200,6 +206,9 @@ func (c *Core) Access(r trace.Record) {
 	c.commit(d, resp.Ready)
 	c.recComplete[recSeq%c.recRing] = resp.Ready
 	c.LoadLatency += resp.Ready - issue
+	if c.Tap != nil {
+		c.Tap.LoadToUse(resp.Ready - issue)
+	}
 }
 
 // Drain returns the cycle at which everything dispatched so far has

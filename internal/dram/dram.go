@@ -73,6 +73,11 @@ type Channel struct {
 	// Memory's TotalStats is O(1) instead of a per-call sum over the
 	// full channel geometry (the epoch sampler reads it per sample).
 	agg *Stats
+	// tap, when non-nil, receives every read's service latency and
+	// row-buffer outcome (the flight-recorder hook; see mem.Tap).
+	// Attached for the measurement window only; the disabled cost is
+	// one interface nil-check per read.
+	tap mem.Tap
 }
 
 // NewChannel builds a channel from cfg.
@@ -184,6 +189,9 @@ func (c *Channel) Access(blk mem.BlockAddr, write bool, now int64) int64 {
 
 	c.Stats.Reads++
 	c.Stats.TotalServiceLatency += done - now
+	if c.tap != nil {
+		c.tap.DRAMRead(done-now, hit, conflict)
+	}
 	if c.agg != nil {
 		if hit {
 			c.agg.RowHits++
@@ -204,6 +212,30 @@ func (c *Channel) Access(blk mem.BlockAddr, write bool, now int64) int64 {
 // the floor any DRAM access pays.
 func (c *Channel) MinLatency() int64 {
 	return c.cpuCycles(c.cfg.TCAS) + c.cpuCycles(c.cfg.BurstCycles)
+}
+
+// SetTap attaches (nil detaches) the flight-recorder read hook.
+func (c *Channel) SetTap(t mem.Tap) { c.tap = t }
+
+// BusyBanks counts banks with a command reservation extending past
+// time now — the occupancy sampler's bank-pressure signal. Pure read.
+func (c *Channel) BusyBanks(now int64) int {
+	n := 0
+	for i := range c.banks {
+		if c.banks[i].readyAt > now {
+			n++
+		}
+	}
+	return n
+}
+
+// BusBacklog returns how far the data-bus reservation extends past
+// time now, in CPU cycles (0 when the bus is free). Pure read.
+func (c *Channel) BusBacklog(now int64) int64 {
+	if c.busFree > now {
+		return c.busFree - now
+	}
+	return 0
 }
 
 // RowHitRate returns the fraction of accesses that hit an open row.
@@ -261,3 +293,33 @@ func (m *Memory) Channels() []*Channel { return m.channels }
 // TotalStats returns the incrementally maintained sum over all
 // channels in O(1).
 func (m *Memory) TotalStats() Stats { return m.total }
+
+// SetTap attaches (nil detaches) the flight-recorder read hook on
+// every channel.
+func (m *Memory) SetTap(t mem.Tap) {
+	for _, c := range m.channels {
+		c.SetTap(t)
+	}
+}
+
+// BusyBanks counts banks across all channels with a command
+// reservation extending past time now. Pure read.
+func (m *Memory) BusyBanks(now int64) int {
+	n := 0
+	for _, c := range m.channels {
+		n += c.BusyBanks(now)
+	}
+	return n
+}
+
+// BusBacklog returns the largest per-channel data-bus backlog past
+// time now, in CPU cycles. Pure read.
+func (m *Memory) BusBacklog(now int64) int64 {
+	var worst int64
+	for _, c := range m.channels {
+		if b := c.BusBacklog(now); b > worst {
+			worst = b
+		}
+	}
+	return worst
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"graphmem/internal/check"
 	"graphmem/internal/graph"
@@ -167,6 +168,11 @@ type Workbench struct {
 	// grows with the number of concurrently live graphs: use -j 1 (or
 	// DropGraph between experiments) when memory-bound.
 	Parallelism int
+	// Metrics, when set, receives run lifecycle events (started,
+	// finished with IPC and recorder snapshot, cached) for the live
+	// -metrics HTTP endpoint. A nil Metrics is a no-op — every call
+	// site threads the pointer unconditionally.
+	Metrics *obs.Metrics
 	// CheckLevel runs every simulation under the differential checker
 	// (internal/check) at the given level. Checked runs produce
 	// bit-identical counters, so memoized results remain valid for
@@ -334,10 +340,12 @@ func (wb *Workbench) BaseConfig() sim.Config {
 func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 	key := runKey(cfg, id)
 	label := fmt.Sprintf("ran %-22s %-14s", id, cfg.Name)
+	mlabel := cfg.Name + "/" + id.String()
 	wb.mu.Lock()
 	if r, ok := wb.results[key]; ok {
 		wb.mu.Unlock()
 		wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f", r.IPC()))
+		wb.Metrics.RunCached(mlabel)
 		return r
 	}
 	if l, ok := wb.running[key]; ok {
@@ -347,6 +355,7 @@ func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 			panic(l.panicked)
 		}
 		wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f", l.res.IPC()))
+		wb.Metrics.RunCached(mlabel)
 		return l.res
 	}
 	l := &runLatch{done: make(chan struct{})}
@@ -371,8 +380,11 @@ func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 	cfg = wb.configured(cfg)
 	w := wb.Workload(id, 0)
 	finish := wb.Reporter.StartRun(label)
+	wb.Metrics.RunStarted(mlabel)
+	start := time.Now()
 	res := sim.RunSingleCore(cfg, w)
 	finish(fmt.Sprintf("IPC=%.3f", res.IPC()))
+	wb.Metrics.RunFinished(mlabel, time.Since(start).Seconds(), res.IPC(), res.Recorder)
 	wb.recordCheck(res.Check)
 
 	wb.mu.Lock()

@@ -24,9 +24,16 @@ type runReq struct {
 	id  WorkloadID
 }
 
-// runKey is the memoization key of a job.
+// runKey is the memoization key of a job. A flight-recorded run is a
+// distinct key: its counters are bit-identical to the unrecorded run's,
+// but only it carries a Recorder summary, and sharing the key either
+// way would hand one caller the wrong shape.
 func runKey(cfg sim.Config, id WorkloadID) string {
-	return cfg.Name + "|" + id.String()
+	k := cfg.Name + "|" + id.String()
+	if cfg.FlightRecorder {
+		k += "|fr"
+	}
+	return k
 }
 
 // jobsFor builds one job per workload on a shared config.
@@ -115,6 +122,7 @@ func (wb *Workbench) planJobs(jobs []runReq) {
 	}
 	wb.mu.Unlock()
 	wb.Reporter.Plan(live)
+	wb.Metrics.Plan(live)
 }
 
 // runAll plans and executes the jobs across the worker pool and

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestRenderCSVQuotesSpecialCells(t *testing.T) {
+	tb := &Table{ID: "t", Title: "quoting", Header: []string{"a", "b"}}
+	tb.AddRow("comma, cell", `quote "q" cell`)
+
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	if !strings.Contains(raw, `"comma, cell"`) {
+		t.Errorf("comma cell not quoted: %s", raw)
+	}
+	if !strings.Contains(raw, `"quote ""q"" cell"`) {
+		t.Errorf("quote cell not escaped: %s", raw)
+	}
+
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output does not re-parse as CSV: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want header + 1", len(rows))
+	}
+	if rows[1][0] != "comma, cell" || rows[1][1] != `quote "q" cell` {
+		t.Errorf("round trip lost cell content: %v", rows[1])
+	}
+}
+
+func TestRenderEmptyTable(t *testing.T) {
+	tb := &Table{ID: "empty", Title: "no rows", Header: []string{"w", "longer"}}
+
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "== empty: no rows ==") {
+		t.Errorf("missing title line: %q", out)
+	}
+	if !strings.Contains(out, "w  longer") {
+		t.Errorf("missing header line: %q", out)
+	}
+
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("empty table CSV must be header only, got %d rows", len(rows))
+	}
+}
+
+func TestLatencyTableRendersNilRecorders(t *testing.T) {
+	r := &LatencyResult{ID: "latency", Title: "t"}
+	r.Rows = append(r.Rows, LatencyRow{
+		Workload: WorkloadID{Kernel: "pr", Graph: "kron"},
+		Config:   "Baseline",
+		Rec:      nil,
+	})
+	tb := r.Table()
+	if len(tb.Rows) != 1 {
+		t.Fatalf("got %d rows", len(tb.Rows))
+	}
+	if tb.Rows[0][2] != "-" {
+		t.Errorf("nil recorder must render placeholders: %v", tb.Rows[0])
+	}
+	if len(tb.Header) != len(tb.Rows[0]) {
+		t.Errorf("row width %d != header width %d", len(tb.Rows[0]), len(tb.Header))
+	}
+}

@@ -1,0 +1,30 @@
+package mem
+
+// Tap is the flight-recorder hook interface threaded through the
+// hierarchy components (internal/cpu, internal/cache, internal/dram).
+// Each component holds a Tap field that is nil in normal runs, so the
+// disabled cost at every hook site is a single interface nil-check;
+// internal/sim attaches the concrete recorder (internal/obs.Recorder)
+// for the measurement window only and detaches it at window close,
+// which keeps recorder totals exactly equal to the measurement-window
+// counter deltas.
+//
+// The interface lives here — the hierarchy's leaf package — rather
+// than in internal/obs because obs sits above the hierarchy in the
+// import graph (obs → check → cache); a hook type in obs would close
+// an import cycle.
+type Tap interface {
+	// LoadToUse records one demand load's issue-to-ready latency as
+	// observed by the core (internal/cpu).
+	LoadToUse(latency int64)
+	// MSHRAlloc records an MSHR allocation at the cache identified by
+	// level, with the register-file occupancy just before the insert.
+	MSHRAlloc(level ServedBy, occupancy int)
+	// MSHRStall records a miss that found every register busy and had
+	// to wait the given cycles for the earliest outstanding fill.
+	MSHRStall(level ServedBy, cycles int64)
+	// DRAMRead records one DRAM read's arrival-to-completion latency
+	// and its row-buffer outcome (hit, or miss with/without a
+	// precharge-forcing conflict).
+	DRAMRead(latency int64, rowHit, rowConflict bool)
+}

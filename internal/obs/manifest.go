@@ -117,6 +117,9 @@ type Manifest struct {
 	// Check is the differential-checker outcome (omitted when the run
 	// was unchecked).
 	Check *check.Summary `json:"check,omitempty"`
+	// FlightRecorder is the memory-hierarchy flight-recorder summary
+	// (omitted when the recorder was off).
+	FlightRecorder *RecSummary `json:"flight_recorder,omitempty"`
 	// Experiments lists the experiment ids covered by a sweep manifest
 	// (gmreport -out); empty for single runs.
 	Experiments []string    `json:"experiments,omitempty"`

@@ -144,7 +144,12 @@ func (p *Progress) etaLocked() time.Duration {
 		return 0
 	}
 	workers := max(int(p.peak.Load()), int(p.inflight.Load()), 1)
-	return avg * time.Duration(remaining) / time.Duration(workers)
+	if eta := avg * time.Duration(remaining) / time.Duration(workers); eta > 0 {
+		return eta
+	}
+	// Clamped: an over-counted sweep (duplicate Cached calls) or a
+	// degenerate average must never surface a negative ETA.
+	return 0
 }
 
 func (p *Progress) emitLocked(line string) {
@@ -168,7 +173,10 @@ func (p *Progress) lineLocked(label, detail string, d time.Duration, cached bool
 	line += fmt.Sprintf(" | %s", fmtDuration(d))
 	if avg := p.avgLocked(); avg > 0 {
 		line += fmt.Sprintf(" | avg %s", fmtDuration(avg))
-		if eta := p.etaLocked(); eta > 0 {
+		// The ETA is hidden until two live runs have finished: a
+		// single-sample moving average is noise, and flashing a wild
+		// first estimate costs more trust than showing nothing.
+		if eta := p.etaLocked(); eta > 0 && p.wn >= 2 {
 			line += fmt.Sprintf(" | eta %s", fmtDuration(eta))
 		}
 	}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressETASuppressedUntilTwoRuns pins the display rule: a
+// single-sample moving average is noise, so the first finish line
+// carries the average but no ETA; the second finish shows both.
+// Snapshot keeps exposing the raw estimate either way.
+func TestProgressETASuppressedUntilTwoRuns(t *testing.T) {
+	var lines []string
+	p := NewProgress(func(s string) { lines = append(lines, s) })
+	clock := time.Unix(0, 0)
+	p.now = func() time.Time { return clock }
+
+	p.Plan(3)
+	f := p.StartRun("a")
+	clock = clock.Add(2 * time.Second)
+	f("IPC=1.0")
+
+	if len(lines) != 1 || strings.Contains(lines[0], "eta") {
+		t.Errorf("first finish must not show an ETA: %v", lines)
+	}
+	if !strings.Contains(lines[0], "avg") {
+		t.Errorf("first finish should still show the average: %q", lines[0])
+	}
+	if _, _, _, eta := p.Snapshot(); eta != 4*time.Second {
+		t.Errorf("snapshot eta = %v, want 4s (2 remaining x 2s)", eta)
+	}
+
+	f = p.StartRun("b")
+	clock = clock.Add(2 * time.Second)
+	f("IPC=1.0")
+	if len(lines) != 2 || !strings.Contains(lines[1], "eta") {
+		t.Errorf("second finish should show the ETA: %v", lines)
+	}
+}
+
+// TestProgressETANeverNegative pins the clamp: an over-counted sweep
+// (more finishes than planned) must report a zero ETA, never a
+// negative one.
+func TestProgressETANeverNegative(t *testing.T) {
+	p := NewProgress(nil)
+	clock := time.Unix(0, 0)
+	p.now = func() time.Time { return clock }
+
+	p.Plan(1)
+	for i := 0; i < 2; i++ {
+		f := p.StartRun("x")
+		clock = clock.Add(time.Second)
+		f("")
+	}
+	if _, _, _, eta := p.Snapshot(); eta != 0 {
+		t.Errorf("eta = %v, want 0 when done exceeds total", eta)
+	}
+}

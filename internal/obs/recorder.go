@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"math/bits"
+
+	"graphmem/internal/mem"
+)
+
+// NumLevels sizes every ServedBy-indexed array in the recorder. It
+// matches the serving-level counter array in internal/sim: indices are
+// mem.ServedBy values (mem.ServedNone .. mem.ServedDRAM) with one spare
+// slot.
+const NumLevels = 8
+
+// LatBuckets is the number of fixed log2 latency buckets: bucket i
+// holds observations v with bits.Len64(v) == i, i.e. bucket 0 holds
+// zero-cycle latencies and bucket i >= 1 holds [2^(i-1), 2^i - 1].
+// 48 buckets cover every latency a simulated run can produce.
+const LatBuckets = 48
+
+// LatHist is a fixed-bucket log2 histogram of cycle counts. The zero
+// value is ready to use; Observe is allocation-free.
+type LatHist struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Max     int64             `json:"max"`
+	Buckets [LatBuckets]int64 `json:"buckets"`
+}
+
+// latBucket maps a latency to its bucket index.
+func latBucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= LatBuckets {
+		return LatBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *LatHist) Observe(v int64) {
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[latBucket(v)]++
+}
+
+// Mean returns the arithmetic mean, 0 when empty.
+func (h *LatHist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns an upper-bound estimate of the q-quantile
+// (0 < q <= 1): the upper edge of the log2 bucket containing the
+// ceil(q*Count)-th smallest observation, capped at the observed Max.
+func (h *LatHist) Percentile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Count))
+	if float64(target) < q*float64(h.Count) {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > h.Count {
+		target = h.Count
+	}
+	var cum int64
+	for i := range h.Buckets {
+		cum += h.Buckets[i]
+		if cum >= target {
+			// The final bucket saturates (it holds everything past the
+			// covered range), so its only honest upper edge is the max.
+			if i == LatBuckets-1 {
+				return h.Max
+			}
+			upper := int64(0)
+			if i > 0 {
+				upper = int64(1)<<uint(i) - 1
+			}
+			if upper > h.Max {
+				return h.Max
+			}
+			return upper
+		}
+	}
+	return h.Max
+}
+
+// summary reduces the histogram to its manifest form.
+func (h *LatHist) summary() HistSummary {
+	s := HistSummary{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		Max:   h.Max,
+		P50:   h.Percentile(0.50),
+		P90:   h.Percentile(0.90),
+		P99:   h.Percentile(0.99),
+	}
+	// Trim trailing empty buckets so manifests stay compact.
+	last := -1
+	for i := range h.Buckets {
+		if h.Buckets[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]int64(nil), h.Buckets[:last+1]...)
+	}
+	return s
+}
+
+// MSHRRec accumulates one cache's MSHR telemetry: allocation count with
+// pre-insert occupancy (sum and high-water mark) and full-file stalls.
+type MSHRRec struct {
+	Allocs      int64 `json:"allocs"`
+	OccSum      int64 `json:"occ_sum"`
+	OccMax      int   `json:"occ_max"`
+	Stalls      int64 `json:"stalls"`
+	StallCycles int64 `json:"stall_cycles"`
+}
+
+// DRAMRec accumulates DRAM read telemetry: the service-latency
+// histogram and the row-buffer outcome counts.
+type DRAMRec struct {
+	Lat          LatHist `json:"lat"`
+	RowHits      int64   `json:"row_hits"`
+	RowMisses    int64   `json:"row_misses"`
+	RowConflicts int64   `json:"row_conflicts"`
+}
+
+// OccSample is one point of the occupancy timeline: instantaneous
+// MSHR fill and DRAM bank/bus state at the sample instant, plus the
+// cumulative (window-scoped) counters the exporters difference into
+// per-interval rates.
+type OccSample struct {
+	// Instr and Cycle are the core's absolute retired-instruction and
+	// cycle clocks at the sample.
+	Instr int64 `json:"instr"`
+	Cycle int64 `json:"cycle"`
+	// MSHR is the in-flight miss count per cache, indexed by the
+	// cache's mem.ServedBy value (SDC/L1D/L2/LLC slots are used).
+	MSHR [NumLevels]int32 `json:"mshr"`
+	// DRAMBusyBanks counts banks with a command outstanding; the
+	// backlog is how far the furthest data-bus reservation extends past
+	// the sample instant (cycles).
+	DRAMBusyBanks  int32 `json:"dram_busy_banks"`
+	DRAMBusBacklog int64 `json:"dram_bus_backlog"`
+	// Cumulative window counters at the sample.
+	Served        [NumLevels]int64 `json:"served"`
+	LPAverse      int64            `json:"lp_averse"`
+	LPFriendly    int64            `json:"lp_friendly"`
+	DRAMRowHits   int64            `json:"dram_row_hits"`
+	DRAMRowMisses int64            `json:"dram_row_misses"`
+}
+
+// Recorder is the memory-hierarchy flight recorder: per-level latency
+// histograms, served-by provenance, LP classification counters, MSHR
+// occupancy/stall telemetry, DRAM row-state, and the occupancy
+// timeline. It implements mem.Tap; internal/sim attaches it to the
+// hierarchy for the measurement window only, so every total equals the
+// corresponding measurement-window counter delta. A Recorder serves
+// one single-threaded simulation and is not safe for concurrent use.
+type Recorder struct {
+	// SampleEvery is the occupancy-sampling period in retired
+	// instructions (provenance for exporters; sim drives the sampling).
+	SampleEvery int64
+
+	Served   [NumLevels]int64
+	Lat      [NumLevels]LatHist // load latency by serving level
+	AllLoads LatHist            // every demand load, level-blind (cpu tap)
+
+	LPAverse   int64
+	LPFriendly int64
+
+	MSHR [NumLevels]MSHRRec // indexed by the cache's ServedBy value
+	DRAM DRAMRec
+
+	Samples []OccSample
+}
+
+// NewRecorder creates a recorder that notes the given sampling period.
+func NewRecorder(sampleEvery int64) *Recorder {
+	return &Recorder{SampleEvery: sampleEvery}
+}
+
+// Load records one demand load with its serving level and latency
+// (the provenance hook on internal/sim's access path).
+func (r *Recorder) Load(level mem.ServedBy, latency int64) {
+	r.Served[level]++
+	r.Lat[level].Observe(latency)
+}
+
+// LPDecision records one routing classification (averse or friendly).
+func (r *Recorder) LPDecision(averse bool) {
+	if averse {
+		r.LPAverse++
+	} else {
+		r.LPFriendly++
+	}
+}
+
+// LoadToUse implements mem.Tap (the cpu-side load-latency hook).
+func (r *Recorder) LoadToUse(latency int64) {
+	r.AllLoads.Observe(latency)
+}
+
+// MSHRAlloc implements mem.Tap.
+func (r *Recorder) MSHRAlloc(level mem.ServedBy, occupancy int) {
+	m := &r.MSHR[level]
+	m.Allocs++
+	m.OccSum += int64(occupancy)
+	if occupancy > m.OccMax {
+		m.OccMax = occupancy
+	}
+}
+
+// MSHRStall implements mem.Tap.
+func (r *Recorder) MSHRStall(level mem.ServedBy, cycles int64) {
+	m := &r.MSHR[level]
+	m.Stalls++
+	m.StallCycles += cycles
+}
+
+// DRAMRead implements mem.Tap.
+func (r *Recorder) DRAMRead(latency int64, rowHit, rowConflict bool) {
+	r.DRAM.Lat.Observe(latency)
+	switch {
+	case rowHit:
+		r.DRAM.RowHits++
+	case rowConflict:
+		r.DRAM.RowMisses++
+		r.DRAM.RowConflicts++
+	default:
+		r.DRAM.RowMisses++
+	}
+}
+
+// Sample appends one occupancy-timeline point: the caller supplies the
+// instantaneous machine state (clocks, MSHR fills, DRAM bank/bus
+// state); the recorder stamps its own cumulative counters.
+func (r *Recorder) Sample(instr, cycle int64, mshr [NumLevels]int32, busyBanks int32, busBacklog int64) {
+	r.Samples = append(r.Samples, OccSample{
+		Instr:          instr,
+		Cycle:          cycle,
+		MSHR:           mshr,
+		DRAMBusyBanks:  busyBanks,
+		DRAMBusBacklog: busBacklog,
+		Served:         r.Served,
+		LPAverse:       r.LPAverse,
+		LPFriendly:     r.LPFriendly,
+		DRAMRowHits:    r.DRAM.RowHits,
+		DRAMRowMisses:  r.DRAM.RowMisses,
+	})
+}
+
+// HistSummary is the manifest form of a LatHist: headline percentiles
+// plus the raw log2 buckets (trailing zero buckets trimmed).
+type HistSummary struct {
+	Count   int64   `json:"count"`
+	Mean    float64 `json:"mean"`
+	Max     int64   `json:"max"`
+	P50     int64   `json:"p50"`
+	P90     int64   `json:"p90"`
+	P99     int64   `json:"p99"`
+	Buckets []int64 `json:"log2_buckets,omitempty"`
+}
+
+// LevelSummary is one serving level's provenance + latency breakdown.
+type LevelSummary struct {
+	Level   string      `json:"level"`
+	Served  int64       `json:"served"`
+	Latency HistSummary `json:"latency"`
+}
+
+// MSHRSummary is one cache's MSHR telemetry in manifest form.
+type MSHRSummary struct {
+	Level        string  `json:"level"`
+	Allocs       int64   `json:"allocs"`
+	AvgOccupancy float64 `json:"avg_occupancy"`
+	MaxOccupancy int     `json:"max_occupancy"`
+	Stalls       int64   `json:"stalls"`
+	StallCycles  int64   `json:"stall_cycles"`
+}
+
+// DRAMSummary is the DRAM telemetry in manifest form.
+type DRAMSummary struct {
+	Latency      HistSummary `json:"latency"`
+	RowHits      int64       `json:"row_hits"`
+	RowMisses    int64       `json:"row_misses"`
+	RowConflicts int64       `json:"row_conflicts"`
+}
+
+// RecSummary is the JSON-marshalable flight-recorder outcome attached
+// to run results and manifests ("flight_recorder").
+type RecSummary struct {
+	SampleEvery int64          `json:"sample_every"`
+	LoadToUse   HistSummary    `json:"load_to_use"`
+	Levels      []LevelSummary `json:"levels,omitempty"`
+	LPAverse    int64          `json:"lp_averse"`
+	LPFriendly  int64          `json:"lp_friendly"`
+	MSHR        []MSHRSummary  `json:"mshr,omitempty"`
+	DRAM        DRAMSummary    `json:"dram"`
+	Samples     []OccSample    `json:"samples,omitempty"`
+}
+
+// ServedTotal returns the served count of the named level ("L1D",
+// "SDC", "L2C", "LLC", "remote", "DRAM"), 0 when absent.
+func (s *RecSummary) ServedTotal(level string) int64 {
+	for i := range s.Levels {
+		if s.Levels[i].Level == level {
+			return s.Levels[i].Served
+		}
+	}
+	return 0
+}
+
+// Summary reduces the recorder to its manifest form. Levels and MSHR
+// entries with no activity are omitted.
+func (r *Recorder) Summary() *RecSummary {
+	s := &RecSummary{
+		SampleEvery: r.SampleEvery,
+		LoadToUse:   r.AllLoads.summary(),
+		LPAverse:    r.LPAverse,
+		LPFriendly:  r.LPFriendly,
+		DRAM: DRAMSummary{
+			Latency:      r.DRAM.Lat.summary(),
+			RowHits:      r.DRAM.RowHits,
+			RowMisses:    r.DRAM.RowMisses,
+			RowConflicts: r.DRAM.RowConflicts,
+		},
+		Samples: r.Samples,
+	}
+	for lv := range r.Served {
+		if r.Served[lv] == 0 && r.Lat[lv].Count == 0 {
+			continue
+		}
+		s.Levels = append(s.Levels, LevelSummary{
+			Level:   mem.ServedBy(lv).String(),
+			Served:  r.Served[lv],
+			Latency: r.Lat[lv].summary(),
+		})
+	}
+	for lv := range r.MSHR {
+		m := &r.MSHR[lv]
+		if m.Allocs == 0 && m.Stalls == 0 {
+			continue
+		}
+		avg := 0.0
+		if m.Allocs > 0 {
+			avg = float64(m.OccSum) / float64(m.Allocs)
+		}
+		s.MSHR = append(s.MSHR, MSHRSummary{
+			Level:        mem.ServedBy(lv).String(),
+			Allocs:       m.Allocs,
+			AvgOccupancy: avg,
+			MaxOccupancy: m.OccMax,
+			Stalls:       m.Stalls,
+			StallCycles:  m.StallCycles,
+		})
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+func TestLatHistBucketsAndPercentiles(t *testing.T) {
+	var h LatHist
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count != 100 || h.Max != 100 || h.Sum != 5050 {
+		t.Fatalf("count/max/sum = %d/%d/%d", h.Count, h.Max, h.Sum)
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("mean = %g, want 50.5", h.Mean())
+	}
+	// The 50th smallest value is 50, which lives in bucket 6
+	// ([32, 63]); the percentile reports the bucket's upper edge.
+	if got := h.Percentile(0.50); got != 63 {
+		t.Errorf("p50 = %d, want 63", got)
+	}
+	// The 99th value (99) lives in bucket 7 ([64, 127]) whose upper
+	// edge exceeds the observed max, so the max caps it.
+	if got := h.Percentile(0.99); got != 100 {
+		t.Errorf("p99 = %d, want 100 (capped at max)", got)
+	}
+	if got := h.Percentile(1); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+	if got := h.Percentile(0.01); got != 1 {
+		t.Errorf("p1 = %d, want 1 (bucket [1,1])", got)
+	}
+}
+
+func TestLatHistEdgeCases(t *testing.T) {
+	var h LatHist
+	if h.Percentile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(0)
+	if h.Buckets[0] != 1 {
+		t.Errorf("zero latency must land in bucket 0: %v", h.Buckets[:4])
+	}
+	// Out-of-range observations saturate into the last bucket.
+	h.Observe(1 << 60)
+	if h.Buckets[LatBuckets-1] != 1 {
+		t.Error("huge latency must saturate into the last bucket")
+	}
+	if h.Max != 1<<60 {
+		t.Errorf("max = %d", h.Max)
+	}
+	if got := h.Percentile(1); got != 1<<60 {
+		t.Errorf("p100 = %d, want the observed max", got)
+	}
+}
+
+func TestRecorderSummaryOmitsIdleLevels(t *testing.T) {
+	r := NewRecorder(100)
+	r.Load(mem.ServedL1D, 4)
+	r.Load(mem.ServedDRAM, 200)
+	r.LoadToUse(4)
+	r.LoadToUse(200)
+	r.LPDecision(true)
+	r.LPDecision(false)
+	r.LPDecision(true)
+	r.MSHRAlloc(mem.ServedL1D, 3)
+	r.MSHRStall(mem.ServedL1D, 7)
+	r.DRAMRead(180, true, false)
+	r.DRAMRead(220, false, true)
+
+	s := r.Summary()
+	if s.SampleEvery != 100 {
+		t.Errorf("sample interval %d", s.SampleEvery)
+	}
+	if len(s.Levels) != 2 {
+		t.Fatalf("idle levels must be omitted, got %d entries", len(s.Levels))
+	}
+	if s.ServedTotal("L1D") != 1 || s.ServedTotal("DRAM") != 1 || s.ServedTotal("LLC") != 0 {
+		t.Errorf("served totals wrong: %+v", s.Levels)
+	}
+	if s.LoadToUse.Count != 2 || s.LoadToUse.Max != 200 {
+		t.Errorf("load-to-use summary wrong: %+v", s.LoadToUse)
+	}
+	if s.LPAverse != 2 || s.LPFriendly != 1 {
+		t.Errorf("LP counters %d/%d", s.LPAverse, s.LPFriendly)
+	}
+	if len(s.MSHR) != 1 {
+		t.Fatalf("idle MSHRs must be omitted, got %d entries", len(s.MSHR))
+	}
+	m := s.MSHR[0]
+	if m.Level != "L1D" || m.Allocs != 1 || m.MaxOccupancy != 3 || m.Stalls != 1 || m.StallCycles != 7 {
+		t.Errorf("MSHR summary wrong: %+v", m)
+	}
+	if s.DRAM.RowHits != 1 || s.DRAM.RowMisses != 1 || s.DRAM.RowConflicts != 1 {
+		t.Errorf("DRAM row outcomes wrong: %+v", s.DRAM)
+	}
+	if s.DRAM.Latency.Count != 2 {
+		t.Errorf("DRAM latency count %d", s.DRAM.Latency.Count)
+	}
+}
+
+func TestRecorderSampleStampsCumulativeCounters(t *testing.T) {
+	r := NewRecorder(10)
+	r.Sample(0, 0, [NumLevels]int32{}, 0, 0)
+	r.Load(mem.ServedL2, 12)
+	r.LPDecision(true)
+	r.DRAMRead(100, true, false)
+	var mshr [NumLevels]int32
+	mshr[mem.ServedL2] = 5
+	r.Sample(10, 40, mshr, 3, 17)
+
+	if len(r.Samples) != 2 {
+		t.Fatalf("got %d samples", len(r.Samples))
+	}
+	if s0 := r.Samples[0]; s0.Served != ([NumLevels]int64{}) || s0.LPAverse != 0 {
+		t.Errorf("baseline sample must carry zero counters: %+v", s0)
+	}
+	s1 := r.Samples[1]
+	if s1.Instr != 10 || s1.Cycle != 40 {
+		t.Errorf("sample clocks %d/%d", s1.Instr, s1.Cycle)
+	}
+	if s1.Served[mem.ServedL2] != 1 || s1.LPAverse != 1 || s1.DRAMRowHits != 1 {
+		t.Errorf("cumulative counters not stamped: %+v", s1)
+	}
+	if s1.MSHR[mem.ServedL2] != 5 || s1.DRAMBusyBanks != 3 || s1.DRAMBusBacklog != 17 {
+		t.Errorf("instantaneous state not stamped: %+v", s1)
+	}
+}

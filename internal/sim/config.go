@@ -123,6 +123,17 @@ type Config struct {
 	// sampling at no cost to the core loop.
 	EpochInterval int64
 
+	// FlightRecorder enables the memory-hierarchy flight recorder
+	// (internal/obs.Recorder): per-level load-to-use latency histograms,
+	// served-by provenance, MSHR/DRAM occupancy samples and LP decision
+	// counts, gathered over the measurement window only. Off (the
+	// default) costs one nil compare per hook site and keeps the run
+	// bit-identical to an unrecorded one.
+	FlightRecorder bool
+	// FRInterval is the flight recorder's occupancy-sampling interval in
+	// retired instructions. Zero picks Measure/256 (min 1).
+	FRInterval int64
+
 	// CheckLevel enables the differential correctness harness
 	// (internal/check): check.OracleOnly shadows every block with an
 	// architectural version and validates every demand load;
@@ -189,6 +200,26 @@ func (c Config) WithEpochInterval(n int64) Config {
 func (c Config) WithCheck(l check.Level) Config {
 	c.CheckLevel = l
 	return c
+}
+
+// WithFlightRecorder returns a copy with the memory-hierarchy flight
+// recorder enabled, sampling occupancy every interval retired
+// instructions (0 picks Measure/256).
+func (c Config) WithFlightRecorder(interval int64) Config {
+	c.FlightRecorder = true
+	c.FRInterval = interval
+	return c
+}
+
+// frInterval resolves the effective flight-recorder sampling interval.
+func (c Config) frInterval() int64 {
+	if c.FRInterval > 0 {
+		return c.FRInterval
+	}
+	if iv := c.Measure / 256; iv > 0 {
+		return iv
+	}
+	return 1
 }
 
 // ManifestInfo summarizes the configuration for an obs run manifest.

@@ -110,6 +110,13 @@ type MultiResult struct {
 	// Check is the system-wide differential-checker outcome (zero value
 	// unless the config's CheckLevel was set).
 	Check check.Summary
+	// Recorders holds each core's flight-recorder summary, indexed like
+	// PerCore (nil entries unless the config's FlightRecorder was set
+	// and the slot ran a workload). On multi-core
+	// machines the private L1D/SDC/L2 telemetry is per core; shared
+	// LLC/DRAM taps stay detached since their events are not
+	// attributable to one core.
+	Recorders []*obs.RecSummary
 }
 
 // IPCs returns the per-core measured IPCs.
@@ -235,6 +242,11 @@ func RunMultiCoreOn(sys *System, ws []Workload) *MultiResult {
 		res.PerCore = append(res.PerCore, sl.c.measured)
 		res.Names = append(res.Names, ws[i].Name)
 		res.Epochs = append(res.Epochs, sl.c.epochs)
+		if sl.c.recorder != nil {
+			res.Recorders = append(res.Recorders, sl.c.recorder.Summary())
+		} else {
+			res.Recorders = append(res.Recorders, nil)
+		}
 	}
 	sys.CheckInvariants() // final structural sweep (no-op unless check.Full)
 	if sys.chk != nil {

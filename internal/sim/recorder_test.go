@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"graphmem/internal/mem"
+	"graphmem/internal/obs"
+)
+
+// frCfg is a short-window machine with the flight recorder enabled at
+// the default (measure/256) sampling interval.
+func frCfg() Config {
+	return epochCfg().WithFlightRecorder(0)
+}
+
+func TestFlightRecorderDoesNotPerturbResults(t *testing.T) {
+	off := RunSingleCore(epochCfg(), kronWorkload(t, "pr", 16))
+	on := RunSingleCore(frCfg(), kronWorkload(t, "pr", 16))
+	if off.Stats != on.Stats {
+		t.Errorf("flight recorder changed simulation results:\n off %+v\n on  %+v", off.Stats, on.Stats)
+	}
+	if off.Recorder != nil {
+		t.Error("recorder off must not attach a summary")
+	}
+	if on.Recorder == nil {
+		t.Fatal("recorder on must attach a summary")
+	}
+}
+
+// TestRecorderTotalsMatchWindowCounters pins the window-gating
+// contract: the recorder attaches at the measurement-window open and
+// detaches at the close, so every aggregate it holds equals the
+// corresponding measurement-window counter delta exactly.
+func TestRecorderTotalsMatchWindowCounters(t *testing.T) {
+	res := RunSingleCore(epochCfg().WithSDCLP().WithFlightRecorder(0), kronWorkload(t, "pr", 16))
+	rec := res.Recorder
+	if rec == nil {
+		t.Fatal("no recorder summary")
+	}
+	s := &res.Stats
+
+	for _, c := range []struct {
+		level string
+		want  int64
+	}{
+		{"SDC", s.ServedSDC}, {"L1D", s.ServedL1D}, {"L2C", s.ServedL2},
+		{"LLC", s.ServedLLC}, {"remote", s.ServedRemote}, {"DRAM", s.ServedDRAM},
+	} {
+		if got := rec.ServedTotal(c.level); got != c.want {
+			t.Errorf("recorder served[%s] = %d, window delta = %d", c.level, got, c.want)
+		}
+	}
+	if rec.LoadToUse.Count != s.Loads {
+		t.Errorf("load-to-use count %d != window loads %d", rec.LoadToUse.Count, s.Loads)
+	}
+	if rec.LPAverse != s.LPPredAverse || rec.LPFriendly != s.LPPredFriendly {
+		t.Errorf("LP decisions %d/%d != window %d/%d",
+			rec.LPAverse, rec.LPFriendly, s.LPPredAverse, s.LPPredFriendly)
+	}
+	if got := rec.DRAM.RowHits + rec.DRAM.RowMisses; got != rec.DRAM.Latency.Count {
+		t.Errorf("DRAM row outcomes %d != DRAM read latencies %d", got, rec.DRAM.Latency.Count)
+	}
+	if rec.DRAM.Latency.Count != s.DRAMReads {
+		t.Errorf("recorded DRAM reads %d != window DRAM reads %d", rec.DRAM.Latency.Count, s.DRAMReads)
+	}
+	if len(rec.MSHR) == 0 {
+		t.Error("no MSHR telemetry recorded")
+	}
+
+	// The timeline: a window-open baseline plus at least one in-window
+	// sample, monotone in both clocks and cumulative counters, closing
+	// on the full window totals.
+	if len(rec.Samples) < 2 {
+		t.Fatalf("got %d timeline samples, want >= 2", len(rec.Samples))
+	}
+	for i := 1; i < len(rec.Samples); i++ {
+		prev, cur := &rec.Samples[i-1], &rec.Samples[i]
+		if cur.Instr < prev.Instr || cur.Cycle < prev.Cycle {
+			t.Errorf("sample %d clocks regress: %d/%d after %d/%d",
+				i, cur.Instr, cur.Cycle, prev.Instr, prev.Cycle)
+		}
+		for lv := range cur.Served {
+			if cur.Served[lv] < prev.Served[lv] {
+				t.Errorf("sample %d served[%d] regresses", i, lv)
+			}
+		}
+	}
+	last := &rec.Samples[len(rec.Samples)-1]
+	if last.Served[mem.ServedDRAM] != s.ServedDRAM || last.Served[mem.ServedL1D] != s.ServedL1D {
+		t.Errorf("final sample served %v != window deltas (DRAM %d, L1D %d)",
+			last.Served, s.ServedDRAM, s.ServedL1D)
+	}
+	if last.LPAverse != s.LPPredAverse {
+		t.Errorf("final sample LP averse %d != window %d", last.LPAverse, s.LPPredAverse)
+	}
+}
+
+// TestPerfettoExportMatchesRecorderTotals is the trace-export
+// acceptance check: the per-interval served deltas in the Chrome
+// trace-event JSON sum back to the recorder's aggregate counters.
+func TestPerfettoExportMatchesRecorderTotals(t *testing.T) {
+	res := RunSingleCore(frCfg(), kronWorkload(t, "pr", 16))
+	var buf bytes.Buffer
+	err := obs.WritePerfetto(&buf, []obs.TraceRun{{Name: "Baseline/pr.kron", Rec: res.Recorder}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	named := false
+	sums := map[string]int64{}
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			named = true
+			if ev.Args["name"] != "Baseline/pr.kron" {
+				t.Errorf("process name = %v", ev.Args["name"])
+			}
+		case ev.Ph == "C" && ev.Name == "served (loads/interval)":
+			for lv, v := range ev.Args {
+				sums[lv] += int64(v.(float64))
+			}
+		}
+	}
+	if !named {
+		t.Error("trace missing the process_name metadata event")
+	}
+	for _, lv := range res.Recorder.Levels {
+		if sums[lv.Level] != lv.Served {
+			t.Errorf("trace served[%s] deltas sum to %d, recorder total %d",
+				lv.Level, sums[lv.Level], lv.Served)
+		}
+	}
+	for lv, sum := range sums {
+		if res.Recorder.ServedTotal(lv) != sum {
+			t.Errorf("trace emits level %s (%d) absent from the summary", lv, sum)
+		}
+	}
+}
+
+func TestFlightRecorderMemoizesSeparately(t *testing.T) {
+	// The config carries the recorder flag, so identical runs with and
+	// without it must not be interchangeable result shapes.
+	plain := RunSingleCore(epochCfg(), kronWorkload(t, "cc", 14))
+	recd := RunSingleCore(frCfg().WithWindows(50_000, 400_000), kronWorkload(t, "cc", 14))
+	if plain.Recorder != nil {
+		t.Error("plain run grew a recorder summary")
+	}
+	if recd.Recorder == nil {
+		t.Error("recorded run lost its recorder summary")
+	}
+}

@@ -90,10 +90,14 @@ func (c *coreCtx) observeSlow() bool {
 	if c.cpuCore.Instructions >= c.nextEpoch {
 		c.sampleEpoch()
 	}
+	if c.cpuCore.Instructions >= c.nextFR {
+		c.sampleFR()
+	}
 	if !c.doneMeasure && c.cpuCore.Instructions >= c.baseCounters.Instructions+cfg.Measure {
 		end := c.snapshotCounters()
 		c.measured = stats.Delta(end, c.baseCounters)
 		c.closeEpochs(end)
+		c.closeFR()
 		c.doneMeasure = true
 	}
 	c.rearm()
@@ -113,6 +117,9 @@ func (c *coreCtx) rearm() {
 		if c.nextEpoch < ne {
 			ne = c.nextEpoch
 		}
+		if c.nextFR < ne {
+			ne = c.nextFR
+		}
 		if end := c.baseCounters.Instructions + cfg.Measure; end < ne {
 			ne = end
 		}
@@ -130,6 +137,81 @@ func (c *coreCtx) beginMeasure() {
 	if iv := c.sys.cfg.EpochInterval; iv > 0 {
 		c.nextEpoch = c.baseCounters.Instructions + iv
 	}
+	c.attachFR()
+}
+
+// attachFR opens the flight-recorder window: the recorder becomes the
+// live tap on the core and every cache level. It runs at the same
+// point the measurement baseline is snapshotted (beginMeasure), and
+// closeFR detaches at the window-close snapshot, so the recorder's
+// totals are exactly the measurement-window counter deltas. Shared
+// LLC/DRAM taps attach only on a one-core machine, where their events
+// are attributable to this core.
+func (c *coreCtx) attachFR() {
+	if c.recorder == nil {
+		return
+	}
+	r := c.recorder
+	c.fr = r
+	c.cpuCore.Tap = r
+	c.l1d.SetTap(r, mem.ServedL1D)
+	c.l2.SetTap(r, mem.ServedL2)
+	if c.sdc != nil {
+		c.sdc.SetTap(r, mem.ServedSDC)
+	}
+	if c.sys.cfg.Cores == 1 {
+		c.sys.llc.SetTap(r, mem.ServedLLC)
+		c.sys.dram.SetTap(r)
+	}
+	c.sampleFR() // baseline timeline point at the window start
+}
+
+// sampleFR appends one occupancy-timeline point and re-arms the next
+// sample boundary. All reads are pure: MSHR fills via InFlight, DRAM
+// bank/bus state via BusyBanks/BusBacklog, evaluated at the dispatch
+// clock (the clock new requests are issued against).
+func (c *coreCtx) sampleFR() {
+	now := c.cpuCore.DispatchCycle()
+	var mshr [obs.NumLevels]int32
+	if m := c.l1d.MSHR(); m != nil {
+		mshr[mem.ServedL1D] = int32(m.InFlight(now))
+	}
+	if m := c.l2.MSHR(); m != nil {
+		mshr[mem.ServedL2] = int32(m.InFlight(now))
+	}
+	if c.sdc != nil {
+		if m := c.sdc.MSHR(); m != nil {
+			mshr[mem.ServedSDC] = int32(m.InFlight(now))
+		}
+	}
+	if m := c.sys.llc.MSHR(); m != nil {
+		mshr[mem.ServedLLC] = int32(m.InFlight(now))
+	}
+	c.recorder.Sample(c.cpuCore.Instructions, c.cpuCore.Cycle(), mshr,
+		int32(c.sys.dram.BusyBanks(now)), c.sys.dram.BusBacklog(now))
+	c.nextFR = c.cpuCore.Instructions + c.frInterval
+}
+
+// closeFR takes the final timeline point at the window close and
+// detaches every tap, so post-window activity (multi-core contention
+// execution) is not recorded.
+func (c *coreCtx) closeFR() {
+	if c.fr == nil {
+		return
+	}
+	c.sampleFR()
+	c.fr = nil
+	c.cpuCore.Tap = nil
+	c.l1d.SetTap(nil, mem.ServedNone)
+	c.l2.SetTap(nil, mem.ServedNone)
+	if c.sdc != nil {
+		c.sdc.SetTap(nil, mem.ServedNone)
+	}
+	if c.sys.cfg.Cores == 1 {
+		c.sys.llc.SetTap(nil, mem.ServedNone)
+		c.sys.dram.SetTap(nil)
+	}
+	c.nextFR = noEpoch
 }
 
 // sampleEpoch closes the running epoch at the current counters,
@@ -185,6 +267,7 @@ func (c *coreCtx) finish() {
 	end := c.snapshotCounters()
 	c.measured = stats.Delta(end, c.baseCounters)
 	c.closeEpochs(end)
+	c.closeFR()
 	c.doneMeasure = true
 	c.rearm()
 }
@@ -220,6 +303,10 @@ type Result struct {
 	// Check is the differential-checker outcome (zero value unless the
 	// config's CheckLevel was set).
 	Check check.Summary
+	// Recorder is the flight-recorder summary (nil unless the config's
+	// FlightRecorder was set). Its served totals equal the corresponding
+	// Stats.ServedX counters exactly.
+	Recorder *obs.RecSummary
 }
 
 // IPC is the measured instructions per cycle.
@@ -267,6 +354,9 @@ func (s *System) RunCore0(w Workload) *Result {
 	}
 	if s.chk != nil {
 		res.Check = s.chk.Summary()
+	}
+	if c.recorder != nil {
+		res.Recorder = c.recorder.Summary()
 	}
 	return res
 }

@@ -93,6 +93,18 @@ type coreCtx struct {
 	epochBase stats.CoreStats   // snapshot at the current epoch start
 	epochs    []obs.EpochSample // completed epoch deltas
 
+	// Flight-recorder state (nil / disarmed unless cfg.FlightRecorder).
+	// recorder owns the run's data; fr aliases it only while the
+	// measurement window is open — beginMeasure attaches it (and the
+	// cpu/cache/dram taps), the window-close snapshot detaches — so the
+	// recorder's totals are exactly the measurement-window deltas.
+	// nextFR is the next occupancy-sample boundary (noEpoch when
+	// disarmed, folding into the observe fast path's one comparison).
+	recorder   *obs.Recorder
+	fr         *obs.Recorder
+	nextFR     int64
+	frInterval int64
+
 	// Final measure-window stats (valid once doneMeasure).
 	measured stats.CoreStats
 
@@ -186,9 +198,13 @@ func NewSystem(cfg Config, ws []Workload) *System {
 	}
 
 	for i := 0; i < cfg.Cores; i++ {
-		c := &coreCtx{id: i, sys: s, w: ws[i], nextEpoch: noEpoch, chk: s.chk, nextSweep: noEpoch}
+		c := &coreCtx{id: i, sys: s, w: ws[i], nextEpoch: noEpoch, chk: s.chk, nextSweep: noEpoch, nextFR: noEpoch}
 		if cfg.CheckLevel == check.Full {
 			c.nextSweep = checkSweepEvery
+		}
+		if cfg.FlightRecorder {
+			c.frInterval = cfg.frInterval()
+			c.recorder = obs.NewRecorder(c.frInterval)
 		}
 		l1Cfg := cfg.L1D
 		c.l1d = cache.New(l1Cfg)
@@ -301,6 +317,9 @@ func (c *coreCtx) access(pc uint64, addr mem.Addr, size uint8, write bool, issue
 	case RouteExpert:
 		averse = c.isIrregular(addr)
 	}
+	if c.fr != nil && c.sys.cfg.Routing != RouteNone {
+		c.fr.LPDecision(averse)
+	}
 
 	var resp mem.Response
 	switch {
@@ -317,6 +336,9 @@ func (c *coreCtx) access(pc uint64, addr mem.Addr, size uint8, write bool, issue
 
 	if !write {
 		c.served[resp.Source]++
+		if c.fr != nil {
+			c.fr.Load(resp.Source, resp.Ready-issue)
+		}
 		if c.alp != nil {
 			c.alp.Feedback(averse, resp.Source)
 		}
