@@ -42,6 +42,7 @@ func main() {
 	graphsFlag := flag.String("graphs", "", "restrict to these graphs (comma separated)")
 	mixes := flag.Int("mixes", 0, "override the number of fig14 mixes")
 	jobs := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); output is identical at any -j")
+	weaveJobs := flag.Int("wj", 0, "run multi-core simulations (fig14 mixes, isolated IPCs) on the bound–weave engine with up to this many host workers per run; workers count against -j, output is identical at any -wj")
 	outDir := flag.String("out", "", "also write each table as <dir>/<id>.txt and .csv plus a sweep manifest.json")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	checkFlag := flag.String("check", "off", "differential checking: off|oracle|full (exit 1 on any violation)")
@@ -70,6 +71,7 @@ func main() {
 	}
 	wb := graphmem.NewWorkbench(profile)
 	wb.Parallelism = *jobs
+	wb.WeaveJobs = *weaveJobs
 	checkLevel, err := graphmem.ParseCheckLevel(*checkFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gmreport:", err)

@@ -7,6 +7,14 @@
 //	gmsim -kernel pr -graph kron -config sdclp -profile bench
 //	gmsim -kernel cc -graph friendster -config baseline -measure 5000000
 //	gmsim -kernel pr -graph kron -config sdclp -json -epoch 100000 > run.json
+//	gmsim -kernel pr -graph kron -cores 16 -wj 8
+//
+// With -cores N > 1 the workload is replicated on every core of an
+// N-core machine (a homogeneous multi-programmed mix) and a per-core
+// report is printed. -wj switches that run to the bound–weave parallel
+// engine; the report is byte-identical at any -wj value and carries no
+// wall-clock, so outputs can be diffed across worker counts (timing
+// goes to stderr).
 package main
 
 import (
@@ -63,6 +71,9 @@ func main() {
 	frInterval := flag.Int64("frint", 0, "flight-recorder occupancy sampling interval in retired instructions (0 = measure/256)")
 	metricsAddr := flag.String("metrics", "", "serve live metrics (Prometheus text + expvar) on this address, e.g. :6060")
 	jobs := flag.Int("j", 0, "max concurrent simulations (0 = all host cores); a single run uses one slot")
+	cores := flag.Int("cores", 1, "simulated core count; >1 replicates the workload on every core of one shared machine")
+	weaveJobs := flag.Int("wj", 0, "bound–weave host workers for -cores>1 (0 = legacy serial engine); results are identical at any value")
+	quantum := flag.Int64("quantum", 0, "bound–weave cycle quantum (0 = engine default); only meaningful with -wj")
 	jsonOut := flag.Bool("json", false, "emit a structured run manifest on stdout instead of text")
 	verbose := flag.Bool("v", false, "log run progress")
 	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
@@ -109,6 +120,55 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "gmsim: serving metrics at http://%s/metrics\n", addr)
+	}
+
+	if *cores < 1 {
+		fmt.Fprintln(os.Stderr, "gmsim: -cores must be >= 1")
+		os.Exit(1)
+	}
+	if *cores == 1 && (*weaveJobs > 0 || *quantum > 0) {
+		fmt.Fprintln(os.Stderr, "gmsim: -wj/-quantum apply to multi-core runs only (use -cores N)")
+		os.Exit(1)
+	}
+	if *cores > 1 {
+		if *jsonOut {
+			fmt.Fprintln(os.Stderr, "gmsim: -json is not supported with -cores > 1")
+			os.Exit(1)
+		}
+		if *frPath != "" {
+			fmt.Fprintln(os.Stderr, "gmsim: -fr is not supported with -cores > 1")
+			os.Exit(1)
+		}
+		cfg, err := configByName(profile.BaseConfig(*cores), *configName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmsim:", err)
+			os.Exit(1)
+		}
+		cfg = cfg.WithWindows(profile.Warmup, profile.Measure)
+		cfg.CheckLevel = checkLevel
+		if *epoch > 0 {
+			cfg = cfg.WithEpochInterval(*epoch)
+		}
+		if *weaveJobs > 0 {
+			cfg = cfg.WithBoundWeave(*quantum, *weaveJobs)
+		}
+		id := graphmem.WorkloadID{Kernel: *kernel, Graph: *graphName}
+		ws := make([]graphmem.Workload, *cores)
+		for i := range ws {
+			ws[i] = wb.Workload(id, i)
+		}
+		start := time.Now()
+		res := graphmem.RunMultiCore(cfg, ws)
+		fmt.Fprintf(os.Stderr, "gmsim: %d-core run finished in %s\n", *cores, time.Since(start).Round(time.Millisecond))
+		printMulti(cfg, profile.Name, id, res)
+		if checkLevel != graphmem.CheckOff && res.Check.Violations > 0 {
+			fmt.Fprintf(os.Stderr, "gmsim: differential checker found %d violation(s):\n", res.Check.Violations)
+			for _, v := range res.Check.Details {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		return
 	}
 
 	cfg, err := configByName(profile.BaseConfig(1), *configName)
@@ -203,5 +263,45 @@ func main() {
 	}
 	if checkFailed {
 		os.Exit(1)
+	}
+}
+
+// printMulti renders the multi-core report. It is fully deterministic —
+// no wall clock, no host-side worker count — so runs at different -wj
+// values (or on different machines) can be byte-compared, which is how
+// CI verifies the bound–weave determinism contract.
+func printMulti(cfg graphmem.Config, profileName string, id graphmem.WorkloadID, res *graphmem.MultiResult) {
+	n := len(res.PerCore)
+	fmt.Printf("workload    %s x %d\n", id, n)
+	engine := "serial"
+	if cfg.Quantum > 0 {
+		engine = fmt.Sprintf("bound-weave quantum=%d", cfg.Quantum)
+	}
+	fmt.Printf("config      %s (%s profile)  cores %d  engine %s\n", cfg.Name, profileName, n, engine)
+	var instr, cycles, loads, stores, dramR, dramW int64
+	ipcSum := 0.0
+	for i := range res.PerCore {
+		s := &res.PerCore[i]
+		fmt.Printf("core %3d    instructions %d  cycles %d  IPC %.3f  avg load %.1f  MPKI L1D %.1f SDC %.1f L2C %.1f LLC %.1f  DRAM %d\n",
+			i, s.Instructions, s.Cycles, s.IPC(), s.AvgLoadLatency(),
+			s.L1D.MPKI(s.Instructions), s.SDC.MPKI(s.Instructions),
+			s.L2.MPKI(s.Instructions), s.LLC.MPKI(s.Instructions),
+			s.ServedDRAM)
+		instr += s.Instructions
+		if s.Cycles > cycles {
+			cycles = s.Cycles
+		}
+		loads += s.Loads
+		stores += s.Stores
+		dramR += s.DRAMReads
+		dramW += s.DRAMWrites
+		ipcSum += s.IPC()
+	}
+	fmt.Printf("aggregate   instructions %d  cycles(max) %d  IPC(sum) %.3f\n", instr, cycles, ipcSum)
+	fmt.Printf("memory      loads %d  stores %d  DRAM reads %d  writes %d\n", loads, stores, dramR, dramW)
+	if cfg.CheckLevel != graphmem.CheckOff {
+		fmt.Printf("check       level %s  loads %d  stores %d  sweeps %d  unknown %d  violations %d\n",
+			res.Check.Level, res.Check.LoadsChecked, res.Check.StoresTracked,
+			res.Check.Sweeps, res.Check.UnknownVersions, res.Check.Violations)
 	}
 }

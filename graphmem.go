@@ -111,6 +111,10 @@ const (
 // ParseCheckLevel parses a -check flag value ("off", "oracle", "full").
 func ParseCheckLevel(s string) (CheckLevel, error) { return check.ParseLevel(s) }
 
+// DefaultQuantum is the bound–weave engine's default cycle quantum
+// (Config.WithBoundWeave with quantum <= 0 selects it).
+const DefaultQuantum = sim.DefaultQuantum
+
 // TableI returns the paper's baseline machine configuration for the
 // given core count.
 func TableI(cores int) Config { return sim.TableI(cores) }

@@ -8,6 +8,13 @@
 // Timing follows the repository-wide timestamp-reservation scheme: the
 // cache never steps cycles; callers pass the current CPU cycle and get
 // back ready-at timestamps.
+//
+// Concurrency contract (bound–weave engine, internal/sim/boundweave.go):
+// a Cache instance is single-goroutine — private caches (L1D, SDC, L2)
+// belong to their core's bound-phase goroutine, while the shared LLC is
+// mutated only by the serial weave replay (Lookup/Fill/MSHR calls in
+// replayLLCRead and friends). Nothing in this package locks; the engine
+// provides the isolation.
 package cache
 
 import (

@@ -222,6 +222,30 @@ type Summary struct {
 	Details    []Violation `json:"details,omitempty"`
 }
 
+// Merge folds another checker's outcome into this one — the bound–weave
+// engine shards the shadow oracle per core (each core's disjoint address
+// window has a single writer) and merges the shard summaries, in core
+// order, into the system checker's. The Level of the receiver wins
+// (shards always run at the same level); Details concatenate up to the
+// usual maxDetails cap so the merged summary looks like a single run's.
+func (s Summary) Merge(o Summary) Summary {
+	if s.Level == "" {
+		s.Level = o.Level
+	}
+	s.LoadsChecked += o.LoadsChecked
+	s.StoresTracked += o.StoresTracked
+	s.UnknownVersions += o.UnknownVersions
+	s.Sweeps += o.Sweeps
+	s.Violations += o.Violations
+	for _, d := range o.Details {
+		if len(s.Details) >= maxDetails {
+			break
+		}
+		s.Details = append(s.Details, d)
+	}
+	return s
+}
+
 // Summary exports the checker's outcome.
 func (k *Checker) Summary() Summary {
 	return Summary{

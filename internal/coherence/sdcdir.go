@@ -7,6 +7,14 @@
 // practice; the SDCDir by contrast is modelled structurally because its
 // limited capacity causes back-invalidations of SDC lines — an effect
 // the paper's hardware budget (128 entries per core) makes real.
+//
+// Concurrency contract (bound–weave engine, internal/sim/boundweave.go):
+// the SDCDir is shared-domain state. Under bound–weave it is read and
+// mutated only during the serial weave replay (bwEvDirLookup/DirAdd/
+// DirRemove/DirInvalAll events, in deterministic (t, core, seq) order);
+// bound-phase goroutines never touch it. Capacity evictions observed
+// mid-replay are deferred to the end of the weave by the engine so a
+// later event in the same quantum cannot resurrect an evicted entry.
 package coherence
 
 import (

@@ -70,6 +70,11 @@ type Core struct {
 	Tap mem.Tap
 
 	lastRetire int64 // retirement time of the newest instruction
+
+	// stallUntil floors the next dispatch (see Stall): the bound–weave
+	// engine pushes it forward at quantum boundaries to charge the
+	// latency correction computed by the weave replay.
+	stallUntil int64
 }
 
 // New builds a core bound to a memory system.
@@ -127,7 +132,22 @@ func (c *Core) dispatchTime() int64 {
 			d = r
 		}
 	}
+	if d < c.stallUntil {
+		d = c.stallUntil
+	}
 	return d
+}
+
+// Stall floors every future dispatch at the given cycle — an external
+// stall injected between instructions. The bound–weave engine uses it
+// at quantum boundaries to apply the weave phase's latency correction
+// (actual shared-resource latency minus the bound phase's estimate);
+// cycles earlier than the current floor or the dispatch clock are
+// no-ops, so the clock never rewinds.
+func (c *Core) Stall(cycle int64) {
+	if cycle > c.stallUntil {
+		c.stallUntil = cycle
+	}
 }
 
 // commit finishes the instruction recurrence begun by dispatchTime:

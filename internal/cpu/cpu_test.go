@@ -181,3 +181,28 @@ func TestBadConfigPanics(t *testing.T) {
 	}()
 	New(Config{Width: 0, ROB: 10}, fixedMem(1, nil))
 }
+
+func TestStallRaisesDispatchFloor(t *testing.T) {
+	// Stall floors *future* dispatches: the next access after Stall(n)
+	// must not issue before n.
+	var issues []int64
+	c := New(DefaultConfig(), fixedMem(4, &issues))
+	for i := 0; i < 10; i++ {
+		c.Access(trace.Record{PC: 1, Addr: mem.Addr(i * 64), Size: 4, NonMem: 2})
+	}
+	floor := c.DispatchCycle() + 500
+	c.Stall(floor)
+	c.Access(trace.Record{PC: 1, Addr: 11 * 64, Size: 4})
+	if got := issues[len(issues)-1]; got < floor {
+		t.Fatalf("access issued at %d despite Stall(%d)", got, floor)
+	}
+	if got := c.DispatchCycle(); got < floor {
+		t.Fatalf("DispatchCycle = %d below the stall floor %d", got, floor)
+	}
+	// Stall is monotonic: a lower target must not rewind the clock.
+	c.Stall(floor - 400)
+	c.Access(trace.Record{PC: 1, Addr: 12 * 64, Size: 4})
+	if got := c.DispatchCycle(); got < floor {
+		t.Fatalf("a lower Stall target rewound the clock to %d", got)
+	}
+}

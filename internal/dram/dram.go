@@ -9,6 +9,13 @@
 // first-order DRAM behaviour the paper's results depend on — row-buffer
 // hits vs misses and bank/bus queueing under the bandwidth demand of
 // graph workloads — without a full command scheduler.
+//
+// Concurrency contract (bound–weave engine, internal/sim/boundweave.go):
+// DRAM bank/bus/row state is shared-domain. Under bound–weave, bound
+// phases answer DRAM accesses with a deterministic latency estimate and
+// log them; only the serial weave replay calls into this package, in
+// deterministic (t, core, seq) order, so reservation state stays
+// identical at any weave worker count.
 package dram
 
 import (

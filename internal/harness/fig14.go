@@ -68,17 +68,17 @@ func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 	wb.isolated[key] = l
 	wb.mu.Unlock()
 
-	wb.acquire()
 	cfg := wb.Profile.BaseConfig(mixCores).
 		WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
 	cfg.CheckLevel = wb.CheckLevel
+	cfg, slots := wb.acquireSim(cfg)
 	ws := make([]sim.Workload, mixCores)
 	ws[0] = wb.Workload(id, 0)
 	finish := wb.Reporter.StartRun(label)
 	res := sim.RunMultiCore(cfg, ws)
 	v := res.PerCore[0].IPC()
 	finish(fmt.Sprintf("IPC=%.3f", v))
-	wb.release()
+	wb.releaseN(slots)
 	wb.recordCheck(res.Check)
 
 	wb.mu.Lock()
@@ -96,8 +96,8 @@ func (wb *Workbench) singleIPC(id WorkloadID) float64 {
 func (wb *Workbench) runMix(cfg sim.Config, mix []WorkloadID) []float64 {
 	cfg = cfg.WithWindows(wb.Profile.MixWarmup, wb.Profile.MixMeasure)
 	cfg.CheckLevel = wb.CheckLevel
-	wb.acquire()
-	defer wb.release()
+	cfg, slots := wb.acquireSim(cfg)
+	defer wb.releaseN(slots)
 	ws := make([]sim.Workload, mixCores)
 	names := ""
 	for i, id := range mix {

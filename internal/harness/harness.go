@@ -180,8 +180,22 @@ type Workbench struct {
 	// are reported by CheckOutcome. Set it before the first run;
 	// cmd/gmsim and cmd/gmreport expose it as -check.
 	CheckLevel check.Level
+	// WeaveJobs, when positive, runs every multi-core simulation (mix
+	// and isolated runs) on the bound–weave parallel engine
+	// (sim.Config.Quantum = sim.DefaultQuantum) with up to WeaveJobs
+	// host goroutines per simulation. Weave workers are real host work
+	// and therefore count against the Parallelism budget: a mix run
+	// claims min(WeaveJobs, workers) pool slots for its duration.
+	// Results are identical at any WeaveJobs >= 1 (the engine's
+	// determinism contract); only wall-clock changes. Set it before the
+	// first run; cmd/gmsim and cmd/gmreport expose it as -wj.
+	WeaveJobs int
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// batchMu serializes multi-slot pool acquisitions (acquireN) so two
+	// weave-parallel runs can never deadlock each other by each holding
+	// half the pool while waiting for more.
+	batchMu  sync.Mutex
 	sem      chan struct{} // worker pool, sized on first acquire
 	graphs   map[string]*graph.Graph
 	building map[string]*graphLatch // in-flight graph builds

@@ -109,3 +109,47 @@ func TestSingleFlightDedup(t *testing.T) {
 			live, cached, strings.Join(lines, "\n"))
 	}
 }
+
+// TestBoundWeaveDeterminism extends the tentpole guarantee to the
+// bound–weave engine: multi-core runs through the harness produce
+// identical numbers at -wj 1 and -wj 8, and the bound–weave memo keys
+// exclude the worker count (so the caches stay shared) while encoding
+// the quantum (whose value the counters do depend on).
+func TestBoundWeaveDeterminism(t *testing.T) {
+	mix := []WorkloadID{
+		{Kernel: "pr", Graph: "kron"},
+		{Kernel: "cc", Graph: "kron"},
+		{Kernel: "bfs", Graph: "kron"},
+		{Kernel: "pr", Graph: "urand"},
+	}
+	run := func(wj int) ([]float64, float64) {
+		wb := NewWorkbench(fastBench())
+		wb.Parallelism = 8
+		wb.WeaveJobs = wj
+		base4 := wb.Profile.BaseConfig(mixCores).WithSDCLP()
+		return wb.runMix(base4, mix), wb.singleIPC(mix[0])
+	}
+	ipc1, iso1 := run(1)
+	ipc8, iso8 := run(8)
+	if !reflect.DeepEqual(ipc1, ipc8) {
+		t.Errorf("mix IPCs differ between -wj 1 and -wj 8:\n wj1: %v\n wj8: %v", ipc1, ipc8)
+	}
+	if iso1 != iso8 {
+		t.Errorf("isolated IPC differs between -wj 1 and -wj 8: %v vs %v", iso1, iso8)
+	}
+
+	// Memo keys: the quantum is encoded, the worker count is not.
+	cfg := sim.TableI(4).WithSDCLP().WithBoundWeave(0, 1)
+	id := WorkloadID{Kernel: "pr", Graph: "kron"}
+	k1 := runKey(cfg, id)
+	cfg.WeaveWorkers = 8
+	if k8 := runKey(cfg, id); k1 != k8 {
+		t.Errorf("memo key depends on WeaveWorkers: %q vs %q", k1, k8)
+	}
+	if !strings.Contains(k1, "|bw1024") {
+		t.Errorf("bound–weave memo key missing quantum marker: %q", k1)
+	}
+	if legacy := runKey(sim.TableI(4).WithSDCLP(), id); strings.Contains(legacy, "|bw") {
+		t.Errorf("legacy memo key carries a bound–weave marker: %q", legacy)
+	}
+}

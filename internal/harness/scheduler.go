@@ -2,6 +2,7 @@ package harness
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 
 	"graphmem/internal/graph"
@@ -27,11 +28,17 @@ type runReq struct {
 // runKey is the memoization key of a job. A flight-recorded run is a
 // distinct key: its counters are bit-identical to the unrecorded run's,
 // but only it carries a Recorder summary, and sharing the key either
-// way would hand one caller the wrong shape.
+// way would hand one caller the wrong shape. A bound–weave run is also
+// a distinct key — its counters depend on the quantum — but the weave
+// worker count is deliberately excluded: results are identical at any
+// WeaveWorkers, so -wj 1 and -wj 8 must share memo entries.
 func runKey(cfg sim.Config, id WorkloadID) string {
 	k := cfg.Name + "|" + id.String()
 	if cfg.FlightRecorder {
 		k += "|fr"
+	}
+	if cfg.Quantum > 0 {
+		k += "|bw" + strconv.FormatInt(cfg.Quantum, 10)
 	}
 	return k
 }
@@ -96,6 +103,50 @@ func (wb *Workbench) acquire() {
 
 // release returns a slot claimed by acquire.
 func (wb *Workbench) release() { <-wb.sem }
+
+// acquireN claims up to want worker-pool slots (at least one, at most
+// the pool width) and returns the number granted. Weave-parallel
+// simulations run their bound phases on that many host goroutines, so
+// the claim keeps total host work bounded by -j. Batch acquisitions are
+// serialized (batchMu) so two batch claimants can never deadlock by
+// each holding a partial claim; single acquires interleave freely. The
+// granted count affects wall-clock only — bound–weave results are
+// identical at any worker count — so clamping is always safe.
+func (wb *Workbench) acquireN(want int) int {
+	if want < 1 {
+		want = 1
+	}
+	if w := wb.workers(); want > w {
+		want = w
+	}
+	wb.batchMu.Lock()
+	defer wb.batchMu.Unlock()
+	for i := 0; i < want; i++ {
+		wb.acquire()
+	}
+	return want
+}
+
+// releaseN returns n slots claimed by acquireN.
+func (wb *Workbench) releaseN(n int) {
+	for i := 0; i < n; i++ {
+		wb.release()
+	}
+}
+
+// acquireSim claims the pool slots for one multi-core simulation and
+// returns the (possibly bound–weave-enabled) config plus the slot count
+// to release. With WeaveJobs unset it is a plain single-slot acquire;
+// with WeaveJobs > 0 the run switches to the bound–weave engine and its
+// worker count is the granted claim.
+func (wb *Workbench) acquireSim(cfg sim.Config) (sim.Config, int) {
+	if wb.WeaveJobs <= 0 {
+		wb.acquire()
+		return cfg, 1
+	}
+	slots := wb.acquireN(wb.WeaveJobs)
+	return cfg.WithBoundWeave(0, slots), slots
+}
 
 // planJobs registers the jobs that will actually execute with the
 // progress reporter: memoized and already-in-flight keys are excluded

@@ -28,3 +28,16 @@ type Tap interface {
 	// precharge-forcing conflict).
 	DRAMRead(latency int64, rowHit, rowConflict bool)
 }
+
+// QuantumTap is the optional extension a Tap may implement to receive
+// bound–weave quantum boundaries: the engine calls BeginQuantum on each
+// core's attached tap at the start of every bound phase, so recorded
+// events carry quantum provenance (obs stamps its occupancy samples
+// with the current quantum index). Taps that don't implement it are
+// simply not notified; recorder totals still equal measurement-window
+// deltas because attachment stays window-scoped either way.
+type QuantumTap interface {
+	// BeginQuantum marks the start of bound–weave quantum q (0-based,
+	// monotonically increasing over a run; -1 is never passed).
+	BeginQuantum(q int64)
+}

@@ -155,6 +155,10 @@ type OccSample struct {
 	// the sample instant (cycles).
 	DRAMBusyBanks  int32 `json:"dram_busy_banks"`
 	DRAMBusBacklog int64 `json:"dram_bus_backlog"`
+	// Quantum is the 1-based bound–weave quantum index the sample was
+	// taken in (0 under the legacy serial engine, omitted from JSON so
+	// legacy manifests are unchanged; see mem.QuantumTap).
+	Quantum int64 `json:"quantum,omitempty"`
 	// Cumulative window counters at the sample.
 	Served        [NumLevels]int64 `json:"served"`
 	LPAverse      int64            `json:"lp_averse"`
@@ -186,11 +190,25 @@ type Recorder struct {
 	DRAM DRAMRec
 
 	Samples []OccSample
+
+	// Quanta counts bound–weave quanta observed while attached;
+	// curQuantum stamps occupancy samples (see mem.QuantumTap).
+	Quanta     int64
+	curQuantum int64
 }
 
 // NewRecorder creates a recorder that notes the given sampling period.
 func NewRecorder(sampleEvery int64) *Recorder {
 	return &Recorder{SampleEvery: sampleEvery}
+}
+
+// BeginQuantum implements mem.QuantumTap: the bound–weave engine calls
+// it at the start of every bound phase the recorder is attached for.
+// Samples are stamped with the 1-based index so the legacy engine's
+// zero stamp stays distinguishable (and omitted from manifests).
+func (r *Recorder) BeginQuantum(q int64) {
+	r.Quanta++
+	r.curQuantum = q + 1
 }
 
 // Load records one demand load with its serving level and latency
@@ -255,6 +273,7 @@ func (r *Recorder) Sample(instr, cycle int64, mshr [NumLevels]int32, busyBanks i
 		MSHR:           mshr,
 		DRAMBusyBanks:  busyBanks,
 		DRAMBusBacklog: busBacklog,
+		Quantum:        r.curQuantum,
 		Served:         r.Served,
 		LPAverse:       r.LPAverse,
 		LPFriendly:     r.LPFriendly,
@@ -311,6 +330,9 @@ type RecSummary struct {
 	MSHR        []MSHRSummary  `json:"mshr,omitempty"`
 	DRAM        DRAMSummary    `json:"dram"`
 	Samples     []OccSample    `json:"samples,omitempty"`
+	// Quanta counts the bound–weave quanta the recorder was attached
+	// for (0 under the legacy serial engine).
+	Quanta int64 `json:"quanta,omitempty"`
 }
 
 // ServedTotal returns the served count of the named level ("L1D",
@@ -332,6 +354,7 @@ func (r *Recorder) Summary() *RecSummary {
 		LoadToUse:   r.AllLoads.summary(),
 		LPAverse:    r.LPAverse,
 		LPFriendly:  r.LPFriendly,
+		Quanta:      r.Quanta,
 		DRAM: DRAMSummary{
 			Latency:      r.DRAM.Lat.summary(),
 			RowHits:      r.DRAM.RowHits,

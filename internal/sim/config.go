@@ -148,6 +148,38 @@ type Config struct {
 	// still dropping the directory entry — the canonical stale-data
 	// bug class the oracle exists to catch. Never set outside tests.
 	BreakSDCDirInval bool
+
+	// Quantum, when positive, selects the bound–weave multi-core engine
+	// (internal/sim/boundweave.go): cores run in parallel for Quantum
+	// dispatch cycles against a frozen view of the shared LLC/DRAM/
+	// SDCDir, logging shared-domain events, which a serial weave phase
+	// then replays in deterministic (timestamp, core, seq) order. Zero
+	// (the default) keeps the legacy serial interleaving engine, whose
+	// report bytes are pinned by the golden-report CI gates. Results
+	// under bound–weave are identical at any WeaveWorkers count.
+	Quantum int64
+	// WeaveWorkers bounds the host goroutines driving bound phases
+	// (0 = GOMAXPROCS). It affects wall-clock only, never results, and
+	// is deliberately excluded from harness memoization keys.
+	WeaveWorkers int
+}
+
+// DefaultQuantum is the bound–weave cycle quantum WithBoundWeave picks
+// when given 0 (~1k cycles, the ZSim ballpark: long enough to amortize
+// the weave barrier, short enough to keep cross-core timing skew small).
+const DefaultQuantum = 1024
+
+// WithBoundWeave returns a copy running the bound–weave parallel
+// engine with the given cycle quantum (0 picks DefaultQuantum) and
+// host worker count (0 = GOMAXPROCS). The Name is unchanged: counters
+// depend on the quantum but not on the worker count.
+func (c Config) WithBoundWeave(quantum int64, workers int) Config {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	c.Quantum = quantum
+	c.WeaveWorkers = workers
+	return c
 }
 
 // TableI returns the paper's baseline configuration (Table I) for the

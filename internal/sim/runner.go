@@ -146,7 +146,9 @@ func (c *coreCtx) beginMeasure() {
 // closeFR detaches at the window-close snapshot, so the recorder's
 // totals are exactly the measurement-window counter deltas. Shared
 // LLC/DRAM taps attach only on a one-core machine, where their events
-// are attributable to this core.
+// are attributable to this core — and never under bound–weave, where
+// shared-domain events fire at weave replay time, outside any single
+// core's window.
 func (c *coreCtx) attachFR() {
 	if c.recorder == nil {
 		return
@@ -159,7 +161,7 @@ func (c *coreCtx) attachFR() {
 	if c.sdc != nil {
 		c.sdc.SetTap(r, mem.ServedSDC)
 	}
-	if c.sys.cfg.Cores == 1 {
+	if c.sys.cfg.Cores == 1 && c.sys.bw == nil {
 		c.sys.llc.SetTap(r, mem.ServedLLC)
 		c.sys.dram.SetTap(r)
 	}
@@ -207,7 +209,7 @@ func (c *coreCtx) closeFR() {
 	if c.sdc != nil {
 		c.sdc.SetTap(nil, mem.ServedNone)
 	}
-	if c.sys.cfg.Cores == 1 {
+	if c.sys.cfg.Cores == 1 && c.sys.bw == nil {
 		c.sys.llc.SetTap(nil, mem.ServedNone)
 		c.sys.dram.SetTap(nil)
 	}

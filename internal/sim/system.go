@@ -46,6 +46,11 @@ type System struct {
 	cores  []*coreCtx
 	chk    *check.Checker // nil unless cfg.CheckLevel != check.Off
 
+	// bw is the bound–weave engine while one is running this system
+	// (Config.Quantum > 0); nil under the legacy serial engines. Shared-
+	// domain paths consult it to defer their side effects to the weave.
+	bw *bwEngine
+
 	// Observer, when set, sees demand loads in the measure window.
 	Observer Observer
 }
@@ -128,6 +133,12 @@ type coreCtx struct {
 	// the instruction count against it once per record. Zero initially
 	// so the first record takes the slow path and arms it.
 	nextEvent int64
+
+	// bw is the core's bound–weave state while that engine runs (see
+	// boundweave.go); nil under the legacy serial engines. Every
+	// shared-domain routing path branches on it to buffer its effects
+	// into the quantum event log instead of mutating shared state.
+	bw *bwCore
 }
 
 // checkSweepEvery is the retired-instruction period of the structural
@@ -266,6 +277,13 @@ func NewSystem(cfg Config, ws []Workload) *System {
 // DRAM if dirty. The write-back is charged to the DRAM state at the
 // current approximate time (the owning core's clock).
 func (s *System) onSDCDirEvict(blk mem.BlockAddr, sharers uint64) {
+	if s.bw != nil {
+		// Replay-time capacity eviction: the bound phase that logged
+		// this quantum saw the SDC copies as live, so the invalidations
+		// are deferred to the weave's end (boundweave.go).
+		s.bw.deferEvict(blk, sharers)
+		return
+	}
 	for i := 0; i < s.cfg.Cores; i++ {
 		if sharers&(1<<i) == 0 {
 			continue
@@ -374,6 +392,9 @@ func (c *coreCtx) bypassAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, wri
 		c.checkCacheHit(c.l2, blk, mem.ServedL2, write)
 		return mem.Response{Ready: r.ReadyAt, Source: mem.ServedL2}
 	}
+	if c.bw != nil {
+		return c.bwBypassShared(blk, addr, size, write, t)
+	}
 	if present, _ := s.llc.ProbeDirty(blk); present {
 		r := s.llc.Lookup(blk, addr, size, write, false, t+c.l2.Latency())
 		c.checkCacheHit(s.llc, blk, mem.ServedLLC, write)
@@ -414,17 +435,24 @@ func (c *coreCtx) sdcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write 
 	res := c.sdc.Lookup(blk, addr, size, write, false, issue)
 	if res.Hit {
 		if write {
-			// A write upgrade: any other SDC sharing the line must
-			// invalidate its copy before we own it Modified.
-			if sharers, _, ok := s.sdcDir.Lookup(blk); ok {
-				for i := range s.cores {
-					if i == c.id || sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
-						continue
+			if c.bw != nil {
+				// Disjoint per-core windows: no other SDC can share the
+				// line, so the upgrade is just the directory round.
+				c.bwDirLookup(blk, res.ReadyAt)
+				c.bwDirAddSharer(blk, res.ReadyAt, true)
+			} else {
+				// A write upgrade: any other SDC sharing the line must
+				// invalidate its copy before we own it Modified.
+				if sharers, _, ok := s.sdcDir.Lookup(blk); ok {
+					for i := range s.cores {
+						if i == c.id || sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
+							continue
+						}
+						s.cores[i].sdc.Invalidate(blk)
 					}
-					s.cores[i].sdc.Invalidate(blk)
 				}
+				s.sdcDir.AddSharer(blk, c.id, true)
 			}
-			s.sdcDir.AddSharer(blk, c.id, true)
 		}
 		c.checkCacheHit(c.sdc, blk, mem.ServedSDC, write)
 		return mem.Response{Ready: res.ReadyAt, Source: mem.ServedSDC}
@@ -452,8 +480,13 @@ func (c *coreCtx) sdcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write 
 	// their own latency rather than a full directory round.
 	dirDone := t + s.cfg.DirLatency
 
-	// (a) Our own or a remote SDC holds it.
-	if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers != 0 {
+	// (a) Our own or a remote SDC holds it. Under the bound–weave
+	// engine our own SDC just missed and no remote SDC can hold our
+	// blocks (disjoint windows), so only the directory round's
+	// stats/LRU are logged; the branch itself is dead.
+	if c.bw != nil {
+		c.bwDirLookup(blk, t)
+	} else if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers != 0 {
 		ready := c.serveFromSDCs(blk, addr, size, write, sharers, dirDone)
 		if m := c.sdc.MSHR(); m != nil {
 			m.Complete(blk, ready)
@@ -475,7 +508,12 @@ func (c *coreCtx) sdcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write 
 
 	// (c) DRAM, bypassing L2 and LLC. The row access was launched in
 	// parallel with the directory check.
-	dramDone := s.dram.Access(blk, false, t)
+	var dramDone int64
+	if c.bw != nil {
+		dramDone = c.bwDRAMRead(blk, t, false)
+	} else {
+		dramDone = s.dram.Access(blk, false, t)
+	}
 	ready := max64(dramDone, dirDone)
 	var ver uint64
 	if c.chk != nil {
@@ -583,9 +621,12 @@ func (c *coreCtx) serveFromHierarchy(blk mem.BlockAddr, addr mem.Addr, size uint
 		lat, src = c.victim.Latency()+c.l1d.Latency()-s.cfg.DirLatency, mem.ServedL1D
 	} else if p, _ := c.l2.ProbeDirty(blk); p {
 		lat, src = c.l2.Latency()-s.cfg.DirLatency, mem.ServedL2
-	} else if p, _ := s.llc.ProbeDirty(blk); p {
+	} else if c.llcHolds(blk) {
 		lat, src = 0, mem.ServedLLC
-	} else {
+	} else if c.bw == nil {
+		// Remote privates can never hold this core's blocks under the
+		// bound–weave engine (disjoint windows), so the probe loop only
+		// runs under the legacy engines.
 		for i := range s.cores {
 			if i == c.id {
 				continue
@@ -622,11 +663,20 @@ func (c *coreCtx) serveFromHierarchy(blk mem.BlockAddr, addr mem.Addr, size uint
 			ch.Invalidate(blk)
 		}
 	}
-	purge(s.llc)
-	for _, rc := range s.cores {
-		purge(rc.l1d)
-		purge(rc.victim)
-		purge(rc.l2)
+	if c.bw != nil {
+		// The LLC purge replays in the weave; only our own private
+		// copies exist otherwise.
+		c.bwLLCInvalidate(blk, ready)
+		purge(c.l1d)
+		purge(c.victim)
+		purge(c.l2)
+	} else {
+		purge(s.llc)
+		for _, rc := range s.cores {
+			purge(rc.l1d)
+			purge(rc.victim)
+			purge(rc.l2)
+		}
 	}
 
 	if c.chk != nil {
@@ -641,13 +691,19 @@ func (c *coreCtx) serveFromHierarchy(blk mem.BlockAddr, addr mem.Addr, size uint
 // unknown everywhere.
 func (c *coreCtx) hierarchyVer(blk mem.BlockAddr) uint64 {
 	s := c.sys
-	for _, ch := range []*cache.Cache{c.l1d, c.victim, c.l2, s.llc} {
+	for _, ch := range []*cache.Cache{c.l1d, c.victim, c.l2} {
 		if ch == nil {
 			continue
 		}
 		if v := ch.VerOf(blk); v != 0 {
 			return v
 		}
+	}
+	if v := c.llcVer(blk); v != 0 {
+		return v
+	}
+	if c.bw != nil {
+		return 0 // remote privates never hold this core's blocks
 	}
 	for i := range s.cores {
 		if i == c.id {
@@ -676,6 +732,16 @@ func (c *coreCtx) fillSDC(blk mem.BlockAddr, addr mem.Addr, size uint8, dirty bo
 	v := c.sdc.Fill(blk, addr, size, dirty, false, ready)
 	if c.chk != nil {
 		c.sdc.SetVer(blk, ver)
+	}
+	if c.bw != nil {
+		if v.Valid {
+			c.bwDirRemoveSharer(v.Blk, ready)
+			if v.Dirty {
+				c.bwDRAMWrite(v.Blk, ready, v.Ver)
+			}
+		}
+		c.bwDirAddSharer(blk, ready, dirty)
+		return
 	}
 	if v.Valid {
 		s.sdcDir.RemoveSharer(v.Blk, c.id)
@@ -707,13 +773,27 @@ func (c *coreCtx) sdcPrefetch(blk mem.BlockAddr, now int64) {
 	}
 	// Skip candidates other agents hold; a real design would take the
 	// coherent path, but dropping the prefetch is always safe.
-	if _, _, held := s.sdcDir.Lookup(blk); held {
-		return
+	if c.bw != nil {
+		// Our SDC (the only possible sharer of our blocks) missed the
+		// probe above, so the directory round is stats/LRU only.
+		c.bwDirLookup(blk, now)
+		if c.bwAnyCacheHolds(blk) {
+			return
+		}
+	} else {
+		if _, _, held := s.sdcDir.Lookup(blk); held {
+			return
+		}
+		if c.anyCacheHolds(blk) {
+			return
+		}
 	}
-	if c.anyCacheHolds(blk) {
-		return
+	var done int64
+	if c.bw != nil {
+		done = c.bwDRAMRead(blk, now, true)
+	} else {
+		done = s.dram.Access(blk, false, now)
 	}
-	done := s.dram.Access(blk, false, now)
 	var ver uint64
 	if c.chk != nil {
 		ver = c.chk.DRAMRead(blk)
@@ -777,7 +857,19 @@ func (c *coreCtx) l1Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write b
 	// and the directory entry dropped — so no SDC copy can linger
 	// untracked and go stale once the hierarchy owns the line.
 	if s.sdcDir != nil {
-		if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers&(1<<c.id) != 0 {
+		var sharers uint64
+		if c.bw != nil {
+			// Bound phase: the directory question for our own block is
+			// answered by our own SDC (the only possible sharer); the
+			// stats/LRU-bearing lookup replays in the weave.
+			c.bwDirLookup(blk, t)
+			if c.sdc != nil && c.sdc.Probe(blk) {
+				sharers = 1 << c.id
+			}
+		} else if sh, _, ok := s.sdcDir.Lookup(blk); ok {
+			sharers = sh
+		}
+		if sharers&(1<<c.id) != 0 {
 			ready := t + s.sdcDir.Latency() + c.sdc.Latency()
 			var ver uint64
 			if c.chk != nil {
@@ -799,7 +891,11 @@ func (c *coreCtx) l1Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write b
 					anyDirty = true
 				}
 			}
-			s.sdcDir.InvalidateAll(blk)
+			if c.bw != nil {
+				c.bwDirInvalidateAll(blk, t)
+			} else {
+				s.sdcDir.InvalidateAll(blk)
+			}
 			if c.chk != nil {
 				if write {
 					ver = c.chk.StoreAbsorbed(blk)
@@ -889,6 +985,11 @@ func (c *coreCtx) writebackToL2(blk mem.BlockAddr, now int64, ver uint64) {
 }
 
 func (c *coreCtx) writebackToLLC(blk mem.BlockAddr, now int64, ver uint64) {
+	if c.bw != nil {
+		c.bw.logEv(bwEvent{kind: bwEvLLCWB, t: now, blk: blk, ver: ver})
+		c.bwOverlaySet(blk, true, ver)
+		return
+	}
 	s := c.sys
 	v := s.llc.Fill(blk, blk.Addr(), mem.BlockSize, true, false, now)
 	s.llc.Stats.Writebacks++
@@ -1018,6 +1119,9 @@ func (c *coreCtx) l1Prefetch(blk mem.BlockAddr, now int64) {
 }
 
 func (c *coreCtx) llcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write, pf bool, issue int64) mem.Response {
+	if c.bw != nil {
+		return c.bwLLCAccess(blk, addr, size, pf, issue)
+	}
 	s := c.sys
 	res := s.llc.Lookup(blk, addr, size, false, pf, issue)
 	if res.Hit {
