@@ -46,6 +46,8 @@ func main() {
 	outDir := flag.String("out", "", "also write each table as <dir>/<id>.txt and .csv plus a sweep manifest.json")
 	quiet := flag.Bool("q", false, "suppress progress logging")
 	checkFlag := flag.String("check", "off", "differential checking: off|oracle|full (exit 1 on any violation)")
+	samplePlan := flag.String("sample", "", "run eligible single-core simulations under the statistical sampler \"period,len,offset[,warm]\"; tables show estimates")
+	ckptDir := flag.String("ckpt", "", "warm-up checkpoint store directory (reuses functional warm-ups across the sweep; needs -sample)")
 	metricsAddr := flag.String("metrics", "", "serve live sweep metrics (Prometheus text + expvar) on this address, e.g. :6060")
 	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
 	flag.Parse()
@@ -78,6 +80,29 @@ func main() {
 		os.Exit(1)
 	}
 	wb.CheckLevel = checkLevel
+	plan, err := graphmem.ParseSamplePlan(*samplePlan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmreport:", err)
+		os.Exit(1)
+	}
+	if plan.Enabled() {
+		if checkLevel != graphmem.CheckOff {
+			fmt.Fprintln(os.Stderr, "gmreport: -sample cannot run under -check (the checker needs detailed execution everywhere)")
+			os.Exit(1)
+		}
+		wb.Sampling = plan
+		if *ckptDir != "" {
+			st, err := graphmem.NewCheckpointStore(*ckptDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gmreport:", err)
+				os.Exit(1)
+			}
+			wb.Checkpoints = st
+		}
+	} else if *ckptDir != "" {
+		fmt.Fprintln(os.Stderr, "gmreport: -ckpt needs -sample (checkpoints store sampled warm-ups)")
+		os.Exit(1)
+	}
 	if *metricsAddr != "" {
 		wb.Metrics = graphmem.NewMetrics()
 		addr, err := wb.Metrics.Serve(*metricsAddr)
@@ -132,6 +157,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gmreport:", err)
 			os.Exit(1)
 		}
+	}
+	if wb.Checkpoints != nil {
+		fmt.Fprintf(os.Stderr, "gmreport: checkpoint store %s: %d hits, %d misses\n",
+			wb.Checkpoints.Dir(), wb.Checkpoints.Hits(), wb.Checkpoints.Misses())
 	}
 	if checkLevel != graphmem.CheckOff {
 		runs, violations, details := wb.CheckOutcome()

@@ -8,6 +8,7 @@
 //	gmsim -kernel cc -graph friendster -config baseline -measure 5000000
 //	gmsim -kernel pr -graph kron -config sdclp -json -epoch 100000 > run.json
 //	gmsim -kernel pr -graph kron -cores 16 -wj 8
+//	gmsim -kernel pr -graph kron -sample 65000,5000,13000 -ckpt /tmp/gmckpt
 //
 // With -cores N > 1 the workload is replicated on every core of an
 // N-core machine (a homogeneous multi-programmed mix) and a per-core
@@ -67,6 +68,8 @@ func main() {
 	measure := flag.Int64("measure", 0, "override measured instructions")
 	epoch := flag.Int64("epoch", 0, "sample telemetry every N retired instructions (0 = off)")
 	checkFlag := flag.String("check", "off", "differential checking: off|oracle|full (exit 1 on any violation)")
+	samplePlan := flag.String("sample", "", "statistical sampling plan \"period,len,offset[,warm]\" in instructions (single-core only; reports CI estimates)")
+	ckptDir := flag.String("ckpt", "", "warm-up checkpoint store directory (reuses functional warm-ups across runs; needs -sample)")
 	frPath := flag.String("fr", "", "enable the memory-hierarchy flight recorder and write a Perfetto/Chrome trace to this path")
 	frInterval := flag.Int64("frint", 0, "flight-recorder occupancy sampling interval in retired instructions (0 = measure/256)")
 	metricsAddr := flag.String("metrics", "", "serve live metrics (Prometheus text + expvar) on this address, e.g. :6060")
@@ -112,6 +115,39 @@ func main() {
 		os.Exit(1)
 	}
 	wb.CheckLevel = checkLevel
+	plan, err := graphmem.ParseSamplePlan(*samplePlan)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmsim:", err)
+		os.Exit(1)
+	}
+	if plan.Enabled() {
+		switch {
+		case *cores > 1:
+			fmt.Fprintln(os.Stderr, "gmsim: -sample runs single-core only")
+			os.Exit(1)
+		case checkLevel != graphmem.CheckOff:
+			fmt.Fprintln(os.Stderr, "gmsim: -sample cannot run under -check (the checker needs detailed execution everywhere)")
+			os.Exit(1)
+		case *epoch > 0:
+			fmt.Fprintln(os.Stderr, "gmsim: -sample cannot run with -epoch (epochs tile the detailed window)")
+			os.Exit(1)
+		case *frPath != "":
+			fmt.Fprintln(os.Stderr, "gmsim: -sample cannot run with -fr (the recorder taps detailed execution)")
+			os.Exit(1)
+		}
+		wb.Sampling = plan
+		if *ckptDir != "" {
+			st, err := graphmem.NewCheckpointStore(*ckptDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gmsim:", err)
+				os.Exit(1)
+			}
+			wb.Checkpoints = st
+		}
+	} else if *ckptDir != "" {
+		fmt.Fprintln(os.Stderr, "gmsim: -ckpt needs -sample (checkpoints store sampled warm-ups)")
+		os.Exit(1)
+	}
 	if *metricsAddr != "" {
 		wb.Metrics = graphmem.NewMetrics()
 		addr, err := wb.Metrics.Serve(*metricsAddr)
@@ -213,6 +249,7 @@ func main() {
 		m.Derived = graphmem.DeriveMetrics(&res.Stats)
 		m.Epochs = res.Epochs
 		m.FlightRecorder = res.Recorder
+		m.Sampling = res.Sampling
 		if checkLevel != graphmem.CheckOff {
 			m.Check = &res.Check
 		}
@@ -245,6 +282,20 @@ func main() {
 	fmt.Printf("DRAM        reads %d  writes %d  row-hit %.1f%%\n",
 		s.DRAMReads, s.DRAMWrites,
 		100*float64(s.DRAMRowHits)/float64(1+s.DRAMRowHits+s.DRAMRowMisses))
+	if e := res.Sampling; e != nil {
+		src := "warmed in place"
+		if e.CheckpointHit {
+			src = "restored from checkpoint"
+		}
+		fmt.Printf("sampling    %d samples, %d instructions detailed (%.1f%% of the %d-instruction window), warm-up %s\n",
+			e.Samples, e.DetailedInstructions,
+			100*float64(e.DetailedInstructions)/float64(profile.Measure), profile.Measure, src)
+		fmt.Printf("estimates   IPC %.3f ±%.3f  MPKI L1D %.1f ±%.1f  L2C %.1f ±%.1f  LLC %.1f ±%.1f (99%% CI)\n",
+			e.IPC.Mean, e.IPC.HalfWidth,
+			e.L1DemandMPKI.Mean, e.L1DemandMPKI.HalfWidth,
+			e.L2MPKI.Mean, e.L2MPKI.HalfWidth,
+			e.LLCMPKI.Mean, e.LLCMPKI.HalfWidth)
+	}
 	if len(res.Epochs) > 0 {
 		fmt.Printf("epochs      %d samples every %d instructions (use -json to export the series)\n",
 			len(res.Epochs), *epoch)

@@ -34,6 +34,7 @@ import (
 	"graphmem/internal/kernels"
 	"graphmem/internal/mem"
 	"graphmem/internal/obs"
+	"graphmem/internal/sample"
 	"graphmem/internal/sim"
 	"graphmem/internal/stats"
 	"graphmem/internal/trace"
@@ -96,6 +97,17 @@ type (
 	CheckSummary = check.Summary
 	// CheckViolation is one detailed checker finding with provenance.
 	CheckViolation = check.Violation
+	// SamplePlan is the statistical sampler's deterministic schedule
+	// (Workbench.Sampling / Config.WithSampling).
+	SamplePlan = sample.Plan
+	// SampleEstimate is a sampled run's per-metric confidence-interval
+	// result (Result.Sampling / Manifest.Sampling).
+	SampleEstimate = sample.Estimate
+	// CheckpointStore is the disk-backed warm-up checkpoint store
+	// (Workbench.Checkpoints / Config.WithCheckpointStore).
+	CheckpointStore = sample.Store
+	// StatInterval is a point estimate with a CLT confidence interval.
+	StatInterval = stats.Interval
 )
 
 // Differential-checking levels (Config.CheckLevel / Workbench.CheckLevel).
@@ -110,6 +122,22 @@ const (
 
 // ParseCheckLevel parses a -check flag value ("off", "oracle", "full").
 func ParseCheckLevel(s string) (CheckLevel, error) { return check.ParseLevel(s) }
+
+// ParseSamplePlan parses a -sample flag value "period,len,offset[,warm]"
+// ("" = disabled).
+func ParseSamplePlan(s string) (SamplePlan, error) { return sample.ParsePlan(s) }
+
+// NewCheckpointStore opens (creating if needed) a warm-up checkpoint
+// store rooted at dir.
+func NewCheckpointStore(dir string) (*CheckpointStore, error) { return sample.NewStore(dir) }
+
+// SampleStateVersion is the µarch checkpoint payload version; it keys
+// both the file header and the store lookup, so bumping it invalidates
+// every stored warm-up (use it in CI cache keys).
+const SampleStateVersion = sample.StateVersion
+
+// RelErr returns |est-ref|/|ref| (0 for 0/0, +Inf for est/0).
+func RelErr(est, ref float64) float64 { return stats.RelErr(est, ref) }
 
 // DefaultQuantum is the bound–weave engine's default cycle quantum
 // (Config.WithBoundWeave with quantum <= 0 selects it).

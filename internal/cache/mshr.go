@@ -1,6 +1,9 @@
 package cache
 
 import (
+	"encoding/binary"
+	"fmt"
+
 	"graphmem/internal/mem"
 )
 
@@ -172,4 +175,38 @@ func (m *MSHR) Abandon(blk mem.BlockAddr) {
 	if i := m.find(blk); i >= 0 {
 		m.remove(i)
 	}
+}
+
+// encodeState appends the register file's contents (entry count, then
+// each block and ready time). After a pure functional warm-up the file
+// is empty — warming never allocates registers — but the checkpoint
+// serializes it anyway so resume identity holds by construction.
+func (m *MSHR) encodeState(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.entries)))
+	for i := range m.entries {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.entries[i].blk))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(m.entries[i].ready))
+	}
+	return buf
+}
+
+// decodeState restores state written by encodeState.
+func (m *MSHR) decodeState(data []byte, owner string) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("cache %s: MSHR checkpoint truncated", owner)
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if n > m.cap || len(data) < 16*n {
+		return nil, fmt.Errorf("cache %s: MSHR checkpoint truncated or over capacity", owner)
+	}
+	m.entries = m.entries[:0]
+	for i := 0; i < n; i++ {
+		m.entries = append(m.entries, mshrEntry{
+			blk:   mem.BlockAddr(binary.LittleEndian.Uint64(data)),
+			ready: int64(binary.LittleEndian.Uint64(data[8:])),
+		})
+		data = data[16:]
+	}
+	return data, nil
 }

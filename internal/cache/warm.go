@@ -1,0 +1,177 @@
+// Functional-warming fast paths and the µarch-state codec used by the
+// statistical sampling engine (internal/sample, ROADMAP item 2).
+//
+// The warm methods are deliberate duplicates of Lookup/Fill minus
+// everything timing- or statistics-related: they perform exactly the
+// tag, recency, used-word, dirty-bit, and replacement-policy
+// transitions a detailed access would, but bump no counters, consult no
+// MSHRs, and carry no timestamps. Keeping them separate (rather than
+// threading a warm flag through the hot path) leaves the detailed path
+// branch-for-branch identical to today, which the byte-identity
+// contract of sampling-off runs depends on.
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"graphmem/internal/mem"
+)
+
+// WarmLookup performs a stat-free, timing-free demand lookup: recency,
+// used-word and dirty state advance exactly as in Lookup, but no
+// hit/miss counters move. It reports whether the block hit so the
+// caller can walk the warm access down the hierarchy on a miss.
+func (c *Cache) WarmLookup(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool) bool {
+	set := c.set(c.setIndex(blk))
+	for w := range set {
+		ln := &set[w]
+		if !ln.Valid || ln.Blk != blk {
+			continue
+		}
+		wm := wordMask(addr, size)
+		if ln.WOC {
+			if ln.Used&wm != wm {
+				continue
+			}
+		}
+		c.lruClock++
+		ln.lru = c.lruClock
+		ln.Used |= wm
+		if write {
+			ln.Dirty = true
+		}
+		c.policy.OnHit(c, blk, set, w)
+		return true
+	}
+	return false
+}
+
+// WarmFill performs a stat-free fill: identical victim selection,
+// distillation insert and policy update to Fill, but no eviction or
+// writeback counters and a zero fill-completion time (functional
+// warming never advances the clock). The victim is returned so the
+// caller can propagate warm writebacks and directory transitions.
+func (c *Cache) WarmFill(blk mem.BlockAddr, addr mem.Addr, size uint8, write bool) Victim {
+	si := c.setIndex(blk)
+	set := c.set(si)
+	for w := range set {
+		if set[w].Valid && set[w].Blk == blk && !set[w].WOC {
+			set[w].ReadyAt = 0
+			if write {
+				set[w].Dirty = true
+			}
+			return Victim{}
+		}
+	}
+	lastLOC := len(set)
+	if c.cfg.Distill {
+		lastLOC = len(set) - c.cfg.DistillWOCWays
+	}
+	way := -1
+	for w := 0; w < lastLOC; w++ {
+		if !set[w].Valid {
+			way = w
+			break
+		}
+	}
+	var v Victim
+	if way < 0 {
+		way = c.policy.Victim(c, blk, set[:lastLOC])
+		ln := &set[way]
+		v = Victim{Valid: true, Blk: ln.Blk, Dirty: ln.Dirty, Used: ln.Used, Ver: ln.Ver}
+		ln.Valid = false
+		if c.cfg.Distill {
+			c.distillInsert(si, v)
+		}
+	}
+	c.lruClock++
+	ln := &set[way]
+	*ln = Line{
+		Blk:   blk,
+		Valid: true,
+		Dirty: write,
+		Used:  wordMask(addr, size),
+		lru:   c.lruClock,
+	}
+	c.policy.OnFill(c, blk, set[:lastLOC], way)
+	return v
+}
+
+// lineBytes is the serialized size of one Line: block address, packed
+// flags, fill time, used-word mask, RRPV, checker version, LRU stamp.
+const lineBytes = 8 + 1 + 8 + 2 + 1 + 8 + 8
+
+// EncodeState appends the cache's complete replaceable state — the LRU
+// clock and every line's fields, including ones that are provably zero
+// after a pure functional warm-up (ReadyAt, Prefetched) — to buf.
+// Serializing everything rather than the warm-reachable subset is what
+// makes the checkpoint round-trip byte-identical by construction
+// instead of by argument.
+func (c *Cache) EncodeState(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.lines)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.lruClock))
+	for i := range c.lines {
+		ln := &c.lines[i]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ln.Blk))
+		var flags byte
+		if ln.Valid {
+			flags |= 1
+		}
+		if ln.Dirty {
+			flags |= 2
+		}
+		if ln.Prefetched {
+			flags |= 4
+		}
+		if ln.WOC {
+			flags |= 8
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ln.ReadyAt))
+		buf = binary.LittleEndian.AppendUint16(buf, ln.Used)
+		buf = append(buf, ln.RRPV)
+		buf = binary.LittleEndian.AppendUint64(buf, ln.Ver)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ln.lru))
+	}
+	if c.mshr != nil {
+		buf = c.mshr.encodeState(buf)
+	}
+	return buf
+}
+
+// DecodeState restores state written by EncodeState, rejecting a
+// geometry mismatch, and returns the remaining bytes.
+func (c *Cache) DecodeState(data []byte) ([]byte, error) {
+	if len(data) < 4+8 {
+		return nil, fmt.Errorf("cache %s: checkpoint truncated", c.cfg.Name)
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n != len(c.lines) {
+		return nil, fmt.Errorf("cache %s: checkpoint geometry mismatch: %d lines, have %d", c.cfg.Name, n, len(c.lines))
+	}
+	c.lruClock = int64(binary.LittleEndian.Uint64(data[4:]))
+	data = data[12:]
+	if len(data) < n*lineBytes {
+		return nil, fmt.Errorf("cache %s: checkpoint truncated", c.cfg.Name)
+	}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		ln.Blk = mem.BlockAddr(binary.LittleEndian.Uint64(data))
+		flags := data[8]
+		ln.Valid = flags&1 != 0
+		ln.Dirty = flags&2 != 0
+		ln.Prefetched = flags&4 != 0
+		ln.WOC = flags&8 != 0
+		ln.ReadyAt = int64(binary.LittleEndian.Uint64(data[9:]))
+		ln.Used = binary.LittleEndian.Uint16(data[17:])
+		ln.RRPV = data[19]
+		ln.Ver = binary.LittleEndian.Uint64(data[20:])
+		ln.lru = int64(binary.LittleEndian.Uint64(data[28:]))
+		data = data[lineBytes:]
+	}
+	if c.mshr != nil {
+		return c.mshr.decodeState(data, c.cfg.Name)
+	}
+	return data, nil
+}

@@ -18,6 +18,7 @@
 package coherence
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -263,4 +264,111 @@ func (d *SDCDir) ForEach(fn func(blk mem.BlockAddr, sharers uint64, state State)
 			fn(e.blk, e.sharers, e.state)
 		}
 	}
+}
+
+// WarmLookup is Lookup without the Lookups/Hits counters: recency still
+// advances on a hit so directory LRU state warms with full fidelity.
+func (d *SDCDir) WarmLookup(blk mem.BlockAddr) (sharers uint64, state State, ok bool) {
+	if e := d.find(blk); e != nil {
+		d.clock++
+		e.lru = d.clock
+		return e.sharers, e.state, true
+	}
+	return 0, Invalid, false
+}
+
+// WarmAddSharer is AddSharer with a stat-free allocation: capacity
+// replacements still fire onEvict (the back-invalidation side effect is
+// real state the warm-up must reproduce) but do not count as
+// Evictions. RemoveSharer and InvalidateAll touch no statistics and are
+// shared between the detailed and warm paths as-is.
+func (d *SDCDir) WarmAddSharer(blk mem.BlockAddr, coreID int, exclusiveWrite bool) {
+	e := d.find(blk)
+	if e == nil {
+		e = d.warmAllocate(blk)
+	}
+	d.clock++
+	e.lru = d.clock
+	if exclusiveWrite {
+		e.sharers = 1 << coreID
+		e.state = Modified
+		return
+	}
+	e.sharers |= 1 << coreID
+	if e.state == Invalid {
+		e.state = Exclusive
+	} else if e.state == Exclusive && bits.OnesCount64(e.sharers) > 1 {
+		e.state = Shared
+	} else if e.state == Modified && bits.OnesCount64(e.sharers) > 1 {
+		e.state = Shared
+	}
+}
+
+func (d *SDCDir) warmAllocate(blk mem.BlockAddr) *dirEntry {
+	set := d.set(blk)
+	way, best := 0, int64(1<<63-1)
+	for w := range set {
+		if !set[w].valid {
+			way = w
+			best = -1
+			break
+		}
+		if set[w].lru < best {
+			best = set[w].lru
+			way = w
+		}
+	}
+	v := &set[way]
+	if v.valid && d.onEvict != nil && v.sharers != 0 {
+		d.onEvict(v.blk, v.sharers)
+	}
+	*v = dirEntry{blk: blk, state: Invalid, valid: true}
+	return v
+}
+
+// EncodeState appends the directory's clock and every entry to buf.
+func (d *SDCDir) EncodeState(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.entries)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.clock))
+	for i := range d.entries {
+		e := &d.entries[i]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.blk))
+		buf = append(buf, byte(e.state))
+		buf = binary.LittleEndian.AppendUint64(buf, e.sharers)
+		if e.valid {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.lru))
+	}
+	return buf
+}
+
+// DecodeState restores state written by EncodeState, rejecting a
+// geometry mismatch, and returns the remaining bytes.
+func (d *SDCDir) DecodeState(data []byte) ([]byte, error) {
+	if len(data) < 4+8 {
+		return nil, fmt.Errorf("coherence: SDCDir checkpoint truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n != len(d.entries) {
+		return nil, fmt.Errorf("coherence: SDCDir checkpoint geometry mismatch: %d entries, have %d", n, len(d.entries))
+	}
+	d.clock = int64(binary.LittleEndian.Uint64(data[4:]))
+	data = data[12:]
+	const entryBytes = 8 + 1 + 8 + 1 + 8
+	if len(data) < n*entryBytes {
+		return nil, fmt.Errorf("coherence: SDCDir checkpoint truncated")
+	}
+	for i := range d.entries {
+		e := &d.entries[i]
+		e.blk = mem.BlockAddr(binary.LittleEndian.Uint64(data))
+		e.state = State(data[8])
+		e.sharers = binary.LittleEndian.Uint64(data[9:])
+		e.valid = data[17] != 0
+		e.lru = int64(binary.LittleEndian.Uint64(data[18:]))
+		data = data[entryBytes:]
+	}
+	return data, nil
 }

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
@@ -179,4 +180,95 @@ func (lp *LP) SAcc(pc uint64) (uint64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// WarmPredictAndUpdate performs the identical classify-then-update
+// table transition to PredictAndUpdate but bumps none of the outcome
+// counters — the functional-warming fast path (internal/sample), which
+// keeps predictor state hot while statistics stay zero.
+func (lp *LP) WarmPredictAndUpdate(pc uint64, blk mem.BlockAddr) bool {
+	si, tag := lp.split(pc)
+	set := lp.set(si)
+	lp.clock++
+	for w := range set {
+		e := &set[w]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		averse := e.sAcc >= lp.cfg.Tau
+		var s uint64
+		if blk >= e.addr {
+			s = uint64(blk - e.addr)
+		} else {
+			s = uint64(e.addr - blk)
+		}
+		acc := e.sAcc + s
+		if acc > sAccMax {
+			acc = sAccMax
+		}
+		e.sAcc = acc >> 1
+		e.addr = blk
+		e.lru = lp.clock
+		return averse
+	}
+	way, best := 0, int64(1<<63-1)
+	for w := range set {
+		if !set[w].valid {
+			way = w
+			break
+		}
+		if set[w].lru < best {
+			best = set[w].lru
+			way = w
+		}
+	}
+	set[way] = lpEntry{tag: tag, addr: blk, sAcc: 0, valid: true, lru: lp.clock}
+	return false
+}
+
+// EncodeState appends the predictor's clock and table to buf.
+func (lp *LP) EncodeState(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(lp.entries)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lp.clock))
+	for i := range lp.entries {
+		e := &lp.entries[i]
+		buf = binary.LittleEndian.AppendUint64(buf, e.tag)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.addr))
+		buf = binary.LittleEndian.AppendUint64(buf, e.sAcc)
+		if e.valid {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.lru))
+	}
+	return buf
+}
+
+// DecodeState restores state written by EncodeState, rejecting a
+// geometry mismatch, and returns the remaining bytes.
+func (lp *LP) DecodeState(data []byte) ([]byte, error) {
+	if len(data) < 4+8 {
+		return nil, fmt.Errorf("core: LP checkpoint truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n != len(lp.entries) {
+		return nil, fmt.Errorf("core: LP checkpoint geometry mismatch: %d entries, have %d", n, len(lp.entries))
+	}
+	lp.clock = int64(binary.LittleEndian.Uint64(data[4:]))
+	data = data[12:]
+	const entryBytes = 8 + 8 + 8 + 1 + 8
+	if len(data) < n*entryBytes {
+		return nil, fmt.Errorf("core: LP checkpoint truncated")
+	}
+	for i := range lp.entries {
+		e := &lp.entries[i]
+		e.tag = binary.LittleEndian.Uint64(data)
+		e.addr = mem.BlockAddr(binary.LittleEndian.Uint64(data[8:]))
+		e.sAcc = binary.LittleEndian.Uint64(data[16:])
+		e.valid = data[24] != 0
+		e.lru = int64(binary.LittleEndian.Uint64(data[25:]))
+		data = data[entryBytes:]
+	}
+	return data, nil
 }

@@ -13,6 +13,9 @@
 package cpu
 
 import (
+	"encoding/binary"
+	"fmt"
+
 	"graphmem/internal/mem"
 	"graphmem/internal/trace"
 )
@@ -234,3 +237,44 @@ func (c *Core) Access(r trace.Record) {
 // Drain returns the cycle at which everything dispatched so far has
 // retired.
 func (c *Core) Drain() int64 { return c.lastRetire }
+
+// WarmRetire consumes one trace record during functional warming
+// (internal/sample): the retired-instruction counters advance — the
+// sampling window machinery is positioned by Instructions — but the
+// pipeline recurrences, ring buffers and clocks do not. Warming spends
+// no cycles, so measurement-window cycle time is exactly the sum of the
+// detailed samples' contiguous pipeline time.
+func (c *Core) WarmRetire(r trace.Record) {
+	c.Instructions += int64(r.NonMem) + 1
+	c.MemOps++
+	if r.Write {
+		c.Stores++
+	} else {
+		c.Loads++
+	}
+}
+
+// EncodeState appends the retired-instruction counters to buf. They are
+// the only core state a functional warm-up moves: WarmRetire touches no
+// rings or clocks, so everything else is still at its reset value when
+// a checkpoint is captured.
+func (c *Core) EncodeState(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Instructions))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.MemOps))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Loads))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Stores))
+	return buf
+}
+
+// DecodeState restores state written by EncodeState and returns the
+// remaining bytes.
+func (c *Core) DecodeState(data []byte) ([]byte, error) {
+	if len(data) < 32 {
+		return nil, fmt.Errorf("cpu: checkpoint truncated")
+	}
+	c.Instructions = int64(binary.LittleEndian.Uint64(data))
+	c.MemOps = int64(binary.LittleEndian.Uint64(data[8:]))
+	c.Loads = int64(binary.LittleEndian.Uint64(data[16:]))
+	c.Stores = int64(binary.LittleEndian.Uint64(data[24:]))
+	return data[32:], nil
+}

@@ -19,6 +19,9 @@
 package dram
 
 import (
+	"encoding/binary"
+	"fmt"
+
 	"graphmem/internal/mem"
 )
 
@@ -329,4 +332,63 @@ func (m *Memory) BusBacklog(now int64) int64 {
 		}
 	}
 	return worst
+}
+
+// WarmTouch updates the row-buffer state for blk without timing or
+// statistics — the functional-warming fast path of the sampling engine
+// (internal/sample). It performs exactly the state transition a real
+// access would leave behind (the target row becomes the open one) so a
+// detailed sample starting after warming sees the row-buffer locality a
+// full detailed run would have produced.
+func (c *Channel) WarmTouch(blk mem.BlockAddr) {
+	bankIdx, row := c.mapAddr(blk)
+	c.banks[bankIdx].openRow = row
+}
+
+// EncodeState appends the channel's warm-relevant state — the per-bank
+// open rows — to buf. Timing reservations (readyAt, busFree) are
+// deliberately excluded: functional warming never advances them, so
+// after a warm-up they are exactly zero and need no serialization.
+func (c *Channel) EncodeState(buf []byte) []byte {
+	for i := range c.banks {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(c.banks[i].openRow))
+	}
+	return buf
+}
+
+// DecodeState restores state written by EncodeState and returns the
+// remaining bytes.
+func (c *Channel) DecodeState(data []byte) ([]byte, error) {
+	need := 8 * len(c.banks)
+	if len(data) < need {
+		return nil, fmt.Errorf("dram: checkpoint truncated: need %d bytes, have %d", need, len(data))
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return data[need:], nil
+}
+
+// WarmTouch routes blk to its channel and updates row state only.
+func (m *Memory) WarmTouch(blk mem.BlockAddr) {
+	m.channels[uint64(blk)%uint64(len(m.channels))].WarmTouch(blk)
+}
+
+// EncodeState appends all channels' warm state to buf.
+func (m *Memory) EncodeState(buf []byte) []byte {
+	for _, c := range m.channels {
+		buf = c.EncodeState(buf)
+	}
+	return buf
+}
+
+// DecodeState restores all channels' warm state.
+func (m *Memory) DecodeState(data []byte) ([]byte, error) {
+	var err error
+	for _, c := range m.channels {
+		if data, err = c.DecodeState(data); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
 }

@@ -17,6 +17,7 @@ import (
 	"graphmem/internal/kernels"
 	"graphmem/internal/mem"
 	"graphmem/internal/obs"
+	"graphmem/internal/sample"
 	"graphmem/internal/sim"
 )
 
@@ -190,6 +191,24 @@ type Workbench struct {
 	// determinism contract); only wall-clock changes. Set it before the
 	// first run; cmd/gmsim and cmd/gmreport expose it as -wj.
 	WeaveJobs int
+	// Sampling, when enabled, runs every eligible single-core simulation
+	// under the statistical sampling engine (internal/sample) with this
+	// schedule: results carry confidence-interval estimates instead of
+	// exact window counters, at a fraction of the detailed-simulation
+	// cost. Runs the engine does not support — multi-core, checked,
+	// flight-recorded, epoch-sampled or bound–weave — keep full fidelity.
+	// Sampled runs memoize under a distinct key (see runKey), so the
+	// zero value leaves every key and result byte-identical. Set it
+	// before the first run; cmd/gmsim and cmd/gmreport expose it as
+	// -sample.
+	Sampling sample.Plan
+	// Checkpoints, when set alongside Sampling, is the warm-up
+	// checkpoint store: sampled runs sharing a (workload,
+	// warm-relevant-config) pair replay one functional warm-up and
+	// restore the rest from disk. Wall-clock only — restored runs are
+	// byte-identical to re-warmed ones — so the store is deliberately
+	// excluded from memo keys. Exposed as -ckpt.
+	Checkpoints *sample.Store
 
 	mu sync.Mutex
 	// batchMu serializes multi-slot pool acquisitions (acquireN) so two
@@ -311,11 +330,18 @@ func (wb *Workbench) Workload(id WorkloadID, slot int) sim.Workload {
 	return sim.Workload{Name: id.String(), Inst: build(g, space), Space: space}
 }
 
-// configured applies the profile's windows and the workbench's check
-// level to a config.
+// configured applies the profile's windows, the workbench's check
+// level, and (where the engine supports it) the workbench's sampling
+// plan and checkpoint store to a config.
 func (wb *Workbench) configured(cfg sim.Config) sim.Config {
 	cfg = cfg.WithWindows(wb.Profile.Warmup, wb.Profile.Measure)
 	cfg.CheckLevel = wb.CheckLevel
+	if wb.Sampling.Enabled() && cfg.Cores == 1 && cfg.Quantum == 0 &&
+		!cfg.FlightRecorder && cfg.EpochInterval == 0 &&
+		cfg.CheckLevel == check.Off {
+		cfg.Sampling.Plan = wb.Sampling
+		cfg.Sampling.Store = wb.Checkpoints
+	}
 	return cfg
 }
 
@@ -352,6 +378,11 @@ func (wb *Workbench) BaseConfig() sim.Config {
 // overlapping on runs never race or compute a point twice. Live runs
 // execute inside the workbench's worker pool (see Parallelism).
 func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
+	// Fold the workbench-level knobs in before the key is computed, so
+	// the memo key reflects the run that will actually execute (a
+	// sampled run and a detailed run of the same config are distinct
+	// keys).
+	cfg = wb.configured(cfg)
 	key := runKey(cfg, id)
 	label := fmt.Sprintf("ran %-22s %-14s", id, cfg.Name)
 	mlabel := cfg.Name + "/" + id.String()
@@ -391,7 +422,6 @@ func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 			panic(p)
 		}
 	}()
-	cfg = wb.configured(cfg)
 	w := wb.Workload(id, 0)
 	finish := wb.Reporter.StartRun(label)
 	wb.Metrics.RunStarted(mlabel)

@@ -31,7 +31,12 @@ type runReq struct {
 // way would hand one caller the wrong shape. A bound–weave run is also
 // a distinct key — its counters depend on the quantum — but the weave
 // worker count is deliberately excluded: results are identical at any
-// WeaveWorkers, so -wj 1 and -wj 8 must share memo entries.
+// WeaveWorkers, so -wj 1 and -wj 8 must share memo entries. A sampled
+// run is a distinct key per schedule — its counters are estimates whose
+// values depend on the plan — while the checkpoint store is excluded
+// like the weave worker count: restored and re-warmed runs are
+// byte-identical, so the store affects wall-clock only. With sampling
+// disabled the key is byte-identical to what it always was.
 func runKey(cfg sim.Config, id WorkloadID) string {
 	k := cfg.Name + "|" + id.String()
 	if cfg.FlightRecorder {
@@ -39,6 +44,15 @@ func runKey(cfg sim.Config, id WorkloadID) string {
 	}
 	if cfg.Quantum > 0 {
 		k += "|bw" + strconv.FormatInt(cfg.Quantum, 10)
+	}
+	if p := cfg.Sampling.Plan; p.Enabled() {
+		k += "|sp" + strconv.FormatInt(p.Period, 10) +
+			"/" + strconv.FormatInt(p.SampleLen, 10) +
+			"/" + strconv.FormatInt(p.Offset, 10) +
+			"/" + strconv.FormatInt(p.DetailWarm, 10)
+		if cfg.Sampling.MisWarm {
+			k += "|mw"
+		}
 	}
 	return k
 }
@@ -158,7 +172,7 @@ func (wb *Workbench) planJobs(jobs []runReq) {
 	seen := make(map[string]bool, len(jobs))
 	wb.mu.Lock()
 	for _, j := range jobs {
-		key := runKey(j.cfg, j.id)
+		key := runKey(wb.configured(j.cfg), j.id)
 		if seen[key] {
 			continue
 		}

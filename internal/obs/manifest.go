@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"graphmem/internal/check"
+	"graphmem/internal/sample"
 	"graphmem/internal/stats"
 )
 
@@ -28,6 +29,12 @@ type RunConfig struct {
 	Warmup        int64  `json:"warmup_instr"`
 	Measure       int64  `json:"measure_instr"`
 	EpochInterval int64  `json:"epoch_interval"`
+	// Sampling-engine schedule (internal/sample); all omitted — keeping
+	// the manifest bytes identical to today — unless sampling was on.
+	SamplePeriod int64 `json:"sample_period,omitempty"`
+	SampleLen    int64 `json:"sample_len,omitempty"`
+	SampleOffset int64 `json:"sample_offset,omitempty"`
+	SampleWarm   int64 `json:"sample_warm,omitempty"`
 }
 
 // Derived collects the headline metrics computed from the final
@@ -120,6 +127,10 @@ type Manifest struct {
 	// FlightRecorder is the memory-hierarchy flight-recorder summary
 	// (omitted when the recorder was off).
 	FlightRecorder *RecSummary `json:"flight_recorder,omitempty"`
+	// Sampling is the statistical-sampling estimate with confidence
+	// intervals (omitted when the sampler was off; when present, Final
+	// holds the sum of the detailed samples' deltas).
+	Sampling *sample.Estimate `json:"sampling,omitempty"`
 	// Experiments lists the experiment ids covered by a sweep manifest
 	// (gmreport -out); empty for single runs.
 	Experiments []string    `json:"experiments,omitempty"`

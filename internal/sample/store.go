@@ -1,0 +1,191 @@
+package sample
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// StateVersion identifies the µarch-state checkpoint payload layout
+// produced by internal/sim. It participates in both the file header and
+// the checkpoint key, so a simulator whose state format changed never
+// deserializes (or even looks up) a stale file.
+const StateVersion = 1
+
+// ckptMagic opens every checkpoint file.
+var ckptMagic = [8]byte{'G', 'M', 'W', 'C', 'K', 'P', 'T', '\n'}
+
+// Errors surfaced by checkpoint decoding. Version mismatches and
+// corrupt/truncated files are ordinary cache misses to callers (the
+// warm-up is simply replayed), but they are distinguishable for tests
+// and diagnostics.
+var (
+	ErrVersionMismatch = errors.New("sample: checkpoint version mismatch")
+	ErrCorrupt         = errors.New("sample: checkpoint truncated or corrupt")
+)
+
+// Key derives a checkpoint-store key from the three identity components
+// the ISSUE pins down: the workload hash, the warm-up-relevant config
+// hash, and the simulator state version. Callers hash whatever uniquely
+// identifies each component; Key just binds them.
+func Key(workloadHash, warmConfigHash string) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("v%d|%s|%s", StateVersion, workloadHash, warmConfigHash)))
+	return hex.EncodeToString(h[:16])
+}
+
+// Encode frames a checkpoint payload: magic, state version, payload
+// length, payload checksum, payload. The checksum makes truncation and
+// bit-rot detectable without trusting the payload's internal structure.
+func Encode(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+8+4+8+32)
+	out = append(out, ckptMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, StateVersion)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	out = append(out, payload...)
+	return out
+}
+
+// Decode validates a framed checkpoint and returns its payload.
+func Decode(data []byte) ([]byte, error) {
+	const headerLen = 8 + 4 + 8 + 32
+	if len(data) < headerLen {
+		return nil, ErrCorrupt
+	}
+	if [8]byte(data[:8]) != ckptMagic {
+		return nil, ErrCorrupt
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != StateVersion {
+		return nil, fmt.Errorf("%w: file v%d, simulator v%d", ErrVersionMismatch, v, StateVersion)
+	}
+	n := binary.LittleEndian.Uint64(data[12:20])
+	payload := data[headerLen:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("%w: payload %d bytes, header says %d", ErrCorrupt, len(payload), n)
+	}
+	var sum [32]byte
+	copy(sum[:], data[20:52])
+	if sha256.Sum256(payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Store is the disk-backed checkpoint store: one framed file per key
+// under a directory, with per-key single-flight so a sweep of N configs
+// sharing a warm-up performs exactly one (the first Acquire for a key
+// misses and warms; the others block on the key lock and then hit the
+// committed file). Hit/miss counters feed the CI job summary and the
+// scheduler tests.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	keys   map[string]*sync.Mutex
+	hits   int64
+	misses int64
+}
+
+// NewStore opens (creating if needed) a checkpoint store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sample: checkpoint store: %w", err)
+	}
+	return &Store{dir: dir, keys: make(map[string]*sync.Mutex)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file a key maps to.
+func (s *Store) Path(key string) string {
+	return filepath.Join(s.dir, key+".ckpt")
+}
+
+// Hits and Misses report the store's lookup outcome counts.
+func (s *Store) Hits() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Misses reports how many Acquire calls found no usable checkpoint.
+func (s *Store) Misses() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.misses
+}
+
+func (s *Store) keyLock(key string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.keys[key]
+	if !ok {
+		l = &sync.Mutex{}
+		s.keys[key] = l
+	}
+	return l
+}
+
+// Acquire looks the key up under its single-flight lock. On a hit it
+// returns the decoded payload and a release func to call immediately.
+// On a miss it returns a nil payload and a commit func: the caller runs
+// the warm-up, then calls commit with the encoded payload (nil to abort
+// without publishing). The key lock is held from Acquire to
+// release/commit, so concurrent runs sharing a warm-up serialize on it
+// and every one after the first hits. A stale (wrong-version) or
+// corrupt file counts as a miss and is overwritten by the commit.
+func (s *Store) Acquire(key string) (payload []byte, done func([]byte) error) {
+	l := s.keyLock(key)
+	l.Lock()
+	if data, err := os.ReadFile(s.Path(key)); err == nil {
+		if p, derr := Decode(data); derr == nil {
+			s.mu.Lock()
+			s.hits++
+			s.mu.Unlock()
+			return p, func([]byte) error { l.Unlock(); return nil }
+		}
+	}
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+	return nil, func(p []byte) error {
+		defer l.Unlock()
+		if p == nil {
+			return nil
+		}
+		return s.write(key, p)
+	}
+}
+
+// write commits a payload atomically (tmp + rename) so a crashed or
+// interrupted run can never leave a half-written checkpoint that a
+// later run would trust.
+func (s *Store) write(key string, payload []byte) error {
+	framed := Encode(payload)
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sample: checkpoint write: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("sample: checkpoint write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("sample: checkpoint write: %w", err)
+	}
+	if err := os.Rename(name, s.Path(key)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("sample: checkpoint write: %w", err)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"graphmem/internal/cpu"
 	"graphmem/internal/dram"
 	"graphmem/internal/obs"
+	"graphmem/internal/sample"
 )
 
 // RoutingMode selects how memory accesses are routed to the SDC.
@@ -149,6 +150,16 @@ type Config struct {
 	// bug class the oracle exists to catch. Never set outside tests.
 	BreakSDCDirInval bool
 
+	// Sampling, when its Period is positive, selects the statistical
+	// sampling engine (internal/sample): the warm-up and the inter-sample
+	// gaps run under functional warming (tags/recency/row state updated,
+	// no timing or statistics), with short detailed samples every Period
+	// instructions feeding per-metric confidence intervals. Requires the
+	// single-core runner with checking, epochs, the flight recorder and
+	// bound–weave all off; the zero value (the default) keeps every run
+	// byte-identical to an unsampled one.
+	Sampling SamplingConfig
+
 	// Quantum, when positive, selects the bound–weave multi-core engine
 	// (internal/sim/boundweave.go): cores run in parallel for Quantum
 	// dispatch cycles against a frozen view of the shared LLC/DRAM/
@@ -162,6 +173,58 @@ type Config struct {
 	// (0 = GOMAXPROCS). It affects wall-clock only, never results, and
 	// is deliberately excluded from harness memoization keys.
 	WeaveWorkers int
+}
+
+// SamplingConfig drives the statistical sampling engine. The embedded
+// sample.Plan carries the schedule (Period, SampleLen, seedless
+// Offset); the extra fields bind the run to a checkpoint store and the
+// fault-injection hook.
+type SamplingConfig struct {
+	sample.Plan
+
+	// Store, when non-nil, is the warm-up checkpoint store: the runner
+	// keys it by (workload, warm-relevant config, state version) and
+	// either restores the warm-up state from it or captures one at the
+	// warm-up end, so a sweep of configs sharing a workload performs one
+	// warm-up instead of N. Wall-clock only; counters are unaffected
+	// (resume is byte-identical to an uninterrupted warm-up).
+	Store *sample.Store
+
+	// MisWarm is a fault-injection hook for testing the sampled-vs-full
+	// error gate: functional warming still counts instructions but skips
+	// every structure touch, so samples run against cold caches and the
+	// estimates drift far past the gate's tolerance. Never set outside
+	// tests and the CI gate's self-check.
+	MisWarm bool
+}
+
+// WithSampling returns a copy running the statistical sampler with a
+// measured detailed sample of length instructions every period
+// instructions, phase-shifted by offset, each preceded by a discarded
+// detailed-warm prefix of the same length (override with
+// WithSampleWarm). The Name is unchanged: sampling estimates the same
+// configuration, it does not define a new one.
+func (c Config) WithSampling(period, length, offset int64) Config {
+	c.Sampling.Period = period
+	c.Sampling.SampleLen = length
+	c.Sampling.Offset = offset
+	c.Sampling.DetailWarm = length
+	return c
+}
+
+// WithSampleWarm returns a copy with the per-sample detailed-warm
+// prefix set to n instructions (0 measures from the first detailed
+// instruction, maximizing speed at the cost of cold-structure bias).
+func (c Config) WithSampleWarm(n int64) Config {
+	c.Sampling.DetailWarm = n
+	return c
+}
+
+// WithCheckpointStore returns a copy using st for warm-up checkpoints
+// (only meaningful together with WithSampling).
+func (c Config) WithCheckpointStore(st *sample.Store) Config {
+	c.Sampling.Store = st
+	return c
 }
 
 // DefaultQuantum is the bound–weave cycle quantum WithBoundWeave picks
@@ -267,6 +330,10 @@ func (c Config) ManifestInfo() obs.RunConfig {
 		Warmup:        c.Warmup,
 		Measure:       c.Measure,
 		EpochInterval: c.EpochInterval,
+		SamplePeriod:  c.Sampling.Period,
+		SampleLen:     c.Sampling.SampleLen,
+		SampleOffset:  c.Sampling.Offset,
+		SampleWarm:    c.Sampling.DetailWarm,
 	}
 }
 

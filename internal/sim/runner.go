@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
 	"graphmem/internal/check"
 	"graphmem/internal/mem"
 	"graphmem/internal/obs"
+	"graphmem/internal/sample"
 	"graphmem/internal/stats"
 	"graphmem/internal/trace"
 )
@@ -65,6 +67,9 @@ const noEpoch = math.MaxInt64
 // measure-window end), recomputed by rearm whenever any of them moves.
 // Records between boundaries pay one compare and one branch.
 func (c *coreCtx) observe(r trace.Record) bool {
+	if c.warmMode != warmOff {
+		return c.warmObserve(r)
+	}
 	c.cpuCore.Access(r)
 	if c.cpuCore.Instructions < c.nextEvent {
 		return !c.doneMeasure
@@ -93,12 +98,25 @@ func (c *coreCtx) observeSlow() bool {
 	if c.cpuCore.Instructions >= c.nextFR {
 		c.sampleFR()
 	}
+	if c.cpuCore.Instructions >= c.nextSampleStart {
+		c.beginSample()
+	}
+	if c.cpuCore.Instructions >= c.nextSampleMeas {
+		c.beginSampleMeasure()
+	}
+	if c.cpuCore.Instructions >= c.nextSampleEnd {
+		c.endSample()
+	}
 	if !c.doneMeasure && c.cpuCore.Instructions >= c.baseCounters.Instructions+cfg.Measure {
-		end := c.snapshotCounters()
-		c.measured = stats.Delta(end, c.baseCounters)
-		c.closeEpochs(end)
-		c.closeFR()
-		c.doneMeasure = true
+		if cfg.Sampling.Enabled() {
+			c.measuredFromSamples()
+		} else {
+			end := c.snapshotCounters()
+			c.measured = stats.Delta(end, c.baseCounters)
+			c.closeEpochs(end)
+			c.closeFR()
+			c.doneMeasure = true
+		}
 	}
 	c.rearm()
 	return !c.doneMeasure
@@ -120,6 +138,15 @@ func (c *coreCtx) rearm() {
 		if c.nextFR < ne {
 			ne = c.nextFR
 		}
+		if c.nextSampleStart < ne {
+			ne = c.nextSampleStart
+		}
+		if c.nextSampleMeas < ne {
+			ne = c.nextSampleMeas
+		}
+		if c.nextSampleEnd < ne {
+			ne = c.nextSampleEnd
+		}
 		if end := c.baseCounters.Instructions + cfg.Measure; end < ne {
 			ne = end
 		}
@@ -130,6 +157,10 @@ func (c *coreCtx) rearm() {
 // beginMeasure opens the measurement window at the current counters and
 // arms the epoch sampler.
 func (c *coreCtx) beginMeasure() {
+	if c.sys.cfg.Sampling.Enabled() {
+		c.beginMeasureSampled()
+		return
+	}
 	c.baseCounters = c.snapshotCounters()
 	c.inMeasure = true
 	c.epochBase = c.baseCounters
@@ -260,6 +291,21 @@ func (c *coreCtx) finish() {
 	if c.doneMeasure {
 		return
 	}
+	if c.sys.cfg.Sampling.Enabled() {
+		// A sampled trace ended early: whatever samples completed (plus a
+		// possibly open one) are the estimate. A run too short to reach
+		// its warm-up end has no samples and measures zero, which the
+		// estimate's Samples==0 makes explicit.
+		if c.inMeasure {
+			c.measuredFromSamples()
+		} else {
+			c.doneMeasure = true
+			c.warmMode = warmOff
+			c.sys.warming = false
+		}
+		c.rearm()
+		return
+	}
 	if !c.inMeasure {
 		// The whole (short) run becomes the measurement.
 		c.baseCounters = stats.CoreStats{}
@@ -309,6 +355,10 @@ type Result struct {
 	// FlightRecorder was set). Its served totals equal the corresponding
 	// Stats.ServedX counters exactly.
 	Recorder *obs.RecSummary
+	// Sampling is the statistical estimate with confidence intervals
+	// (nil unless the config's Sampling was enabled). When present,
+	// Stats holds the sum of the detailed samples' counter deltas.
+	Sampling *sample.Estimate
 }
 
 // IPC is the measured instructions per cycle.
@@ -332,13 +382,31 @@ func RunSingleCore(cfg Config, w Workload) *Result {
 // RunCore0 drives workload w on core 0 until its windows fill.
 func (s *System) RunCore0(w Workload) *Result {
 	c := s.cores[0]
+	if st := s.cfg.Sampling.Store; st != nil && s.cfg.Sampling.Enabled() {
+		key := warmKey(s.cfg, w.Name)
+		payload, done := st.Acquire(key)
+		if payload != nil {
+			// Checkpoint hit: skip the warm-up by draining the record
+			// stream (counting only) to the recorded position, then
+			// restoring the captured state. The payload leads with the
+			// CPU instruction counter, which is that position.
+			c.warmMode = warmDrain
+			c.drainTo = int64(binary.LittleEndian.Uint64(payload))
+			c.ckptPayload = payload
+			c.ckptHit = true
+			s.warming = false // nothing is touched while draining
+			_ = done(nil)
+		} else {
+			c.ckptCommit = done
+		}
+	}
 	sink := &singleSink{c: c}
 	reruns := 0
 	for !c.doneMeasure {
 		tr := trace.New(sink)
-		before := c.cpuCore.Instructions
+		before := c.cpuCore.Instructions + c.drainCount
 		w.Inst.Run(tr)
-		if c.cpuCore.Instructions == before {
+		if c.cpuCore.Instructions+c.drainCount == before {
 			break // kernel emitted nothing; windows cannot fill
 		}
 		if !c.doneMeasure {
@@ -346,6 +414,12 @@ func (s *System) RunCore0(w Workload) *Result {
 		}
 	}
 	c.finish()
+	if c.ckptCommit != nil {
+		// The trace ended before the warm-up did: release the store's
+		// key lock without publishing.
+		_ = c.ckptCommit(nil)
+		c.ckptCommit = nil
+	}
 	s.CheckInvariants() // final structural sweep (no-op unless check.Full)
 	res := &Result{
 		Config:   s.cfg.Name,
@@ -359,6 +433,11 @@ func (s *System) RunCore0(w Workload) *Result {
 	}
 	if c.recorder != nil {
 		res.Recorder = c.recorder.Summary()
+	}
+	if s.cfg.Sampling.Enabled() {
+		est := sample.NewEstimate(c.sampleDeltas)
+		est.CheckpointHit = c.ckptHit
+		res.Sampling = &est
 	}
 	return res
 }

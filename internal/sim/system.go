@@ -51,6 +51,11 @@ type System struct {
 	// domain paths consult it to defer their side effects to the weave.
 	bw *bwEngine
 
+	// warming is true while the sampling engine is functionally warming
+	// (never set for unsampled runs): shared-state callbacks that issue
+	// timed DRAM traffic (onSDCDirEvict) switch to warm row touches.
+	warming bool
+
 	// Observer, when set, sees demand loads in the measure window.
 	Observer Observer
 }
@@ -139,7 +144,38 @@ type coreCtx struct {
 	// shared-domain routing path branches on it to buffer its effects
 	// into the quantum event log instead of mutating shared state.
 	bw *bwCore
+
+	// Statistical-sampling state (warm.go / checkpoint.go). warmMode is
+	// warmOff for unsampled runs, making observe's extra cost one byte
+	// compare per record; under sampling it cycles functional-warm ↔ off
+	// at sample boundaries, or starts in warmDrain when a warm-up
+	// checkpoint was found. nextSampleStart/nextSampleEnd fold into the
+	// nextEvent boundary minimum like every other window boundary.
+	warmMode        uint8
+	warmWalkFn      tlb.WarmWalkFunc
+	nextSampleStart int64
+	nextSampleMeas  int64
+	nextSampleEnd   int64
+	sampleK         int
+	sampleBase      stats.CoreStats
+	sampleDeltas    []stats.CoreStats
+	// Checkpoint bookkeeping: drainTo is the instruction position the
+	// restored warm-up ended at (drainCount tracks progress toward it);
+	// ckptPayload holds the decoded state until the drain arrives;
+	// ckptCommit publishes a freshly captured warm-up on a store miss.
+	drainTo     int64
+	drainCount  int64
+	ckptPayload []byte
+	ckptCommit  func([]byte) error
+	ckptHit     bool
 }
+
+// warmMode values.
+const (
+	warmOff        = iota // detailed simulation (the only mode when sampling is off)
+	warmFunctional        // functional warming: tags/recency/row state, no timing or stats
+	warmDrain             // checkpoint resume: count instructions only, touch nothing
+)
 
 // checkSweepEvery is the retired-instruction period of the structural
 // invariant sweep in check.Full runs.
@@ -181,6 +217,21 @@ func NewSystem(cfg Config, ws []Workload) *System {
 	if len(ws) != cfg.Cores {
 		panic("sim: workload count must equal core count")
 	}
+	if cfg.Sampling.Enabled() {
+		// The sampler owns the window state machine and the byte-identity
+		// contract of the other observation subsystems; it composes with
+		// none of them. Misconfigurations panic here, at machine build
+		// time, rather than producing silently wrong estimates.
+		if !cfg.Sampling.Valid() {
+			panic(fmt.Sprintf("sim: invalid sampling plan %+v", cfg.Sampling.Plan))
+		}
+		if cfg.Cores != 1 {
+			panic("sim: sampling requires a single-core machine")
+		}
+		if cfg.CheckLevel != check.Off || cfg.EpochInterval > 0 || cfg.FlightRecorder || cfg.Quantum > 0 {
+			panic("sim: sampling composes with none of check/epochs/flight-recorder/bound-weave")
+		}
+	}
 	s := &System{cfg: cfg, dram: dram.NewMemory(cfg.DRAM, cfg.DRAMChannels)}
 	if cfg.CheckLevel != check.Off {
 		s.chk = check.New(cfg.CheckLevel)
@@ -209,7 +260,14 @@ func NewSystem(cfg Config, ws []Workload) *System {
 	}
 
 	for i := 0; i < cfg.Cores; i++ {
-		c := &coreCtx{id: i, sys: s, w: ws[i], nextEpoch: noEpoch, chk: s.chk, nextSweep: noEpoch, nextFR: noEpoch}
+		c := &coreCtx{id: i, sys: s, w: ws[i], nextEpoch: noEpoch, chk: s.chk, nextSweep: noEpoch, nextFR: noEpoch,
+			nextSampleStart: noEpoch, nextSampleMeas: noEpoch, nextSampleEnd: noEpoch}
+		if cfg.Sampling.Enabled() {
+			// The warm-up itself runs under functional warming; detailed
+			// simulation only happens inside samples.
+			c.warmMode = warmFunctional
+			s.warming = true
+		}
 		if cfg.CheckLevel == check.Full {
 			c.nextSweep = checkSweepEvery
 		}
@@ -257,6 +315,14 @@ func NewSystem(cfg Config, ws []Workload) *System {
 		c.tlbs = tlb.DefaultHierarchy(ptBase, func(addr mem.Addr, now int64) int64 {
 			return cc.walkRead(addr, now)
 		})
+		if cfg.Sampling.Enabled() {
+			// Warm page walks touch the leaf PTE block through the warm L2
+			// path, mirroring walkRead; the closure is built once so the
+			// warm loop allocates nothing per record.
+			c.warmWalkFn = func(addr mem.Addr) {
+				cc.warmL2(addr.Block(), addr, 8)
+			}
+		}
 		c.cpuCore = cpu.New(cfg.CPU, func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
 			return cc.access(pc, addr, size, write, issue)
 		})
@@ -277,6 +343,20 @@ func NewSystem(cfg Config, ws []Workload) *System {
 // DRAM if dirty. The write-back is charged to the DRAM state at the
 // current approximate time (the owning core's clock).
 func (s *System) onSDCDirEvict(blk mem.BlockAddr, sharers uint64) {
+	if s.warming {
+		// Functional warming: the back-invalidation is real state the
+		// warm-up must reproduce, but the write-back becomes a timeless
+		// row touch instead of a timed DRAM access.
+		for i := 0; i < s.cfg.Cores; i++ {
+			if sharers&(1<<i) == 0 || s.cores[i].sdc == nil {
+				continue
+			}
+			if present, dirty := s.cores[i].sdc.Invalidate(blk); present && dirty {
+				s.dram.WarmTouch(blk)
+			}
+		}
+		return
+	}
 	if s.bw != nil {
 		// Replay-time capacity eviction: the bound phase that logged
 		// this quantum saw the SDC copies as live, so the invalidations

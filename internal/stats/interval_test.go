@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewIntervalBasics(t *testing.T) {
+	if iv := NewInterval(nil); iv != (Interval{}) {
+		t.Errorf("empty input: %+v", iv)
+	}
+	if iv := NewInterval([]float64{2.5}); iv.Mean != 2.5 || iv.HalfWidth != 0 || iv.N != 1 {
+		t.Errorf("single sample: %+v", iv)
+	}
+	iv := NewInterval([]float64{1, 2, 3, 4, 5})
+	if iv.Mean != 3 || iv.N != 5 {
+		t.Errorf("mean/N wrong: %+v", iv)
+	}
+	// s = sqrt(2.5), half-width = 2.576 * s / sqrt(5).
+	want := IntervalZ * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(iv.HalfWidth-want) > 1e-12 {
+		t.Errorf("half-width %v, want %v", iv.HalfWidth, want)
+	}
+	if !iv.Contains(3.5) || iv.Contains(10) {
+		t.Errorf("Contains wrong for %+v", iv)
+	}
+}
+
+func TestNewRatioInterval(t *testing.T) {
+	if iv := NewRatioInterval(nil, nil); iv != (Interval{}) {
+		t.Errorf("empty input: %+v", iv)
+	}
+	if iv := NewRatioInterval([]float64{1, 2}, []float64{1}); iv != (Interval{}) {
+		t.Errorf("length mismatch: %+v", iv)
+	}
+	if iv := NewRatioInterval([]float64{1, 2}, []float64{0, 0}); iv.Mean != 0 || iv.N != 2 {
+		t.Errorf("zero denominator: %+v", iv)
+	}
+	// Pooled ratio, not mean of ratios: (10+30)/(10+10) = 2, while the
+	// per-sample ratios average to (1+3)/2 = 2 here but differ below.
+	iv := NewRatioInterval([]float64{10, 30}, []float64{10, 10})
+	if iv.Mean != 2 {
+		t.Errorf("ratio %v, want 2", iv.Mean)
+	}
+	// Jensen-bias case: ratios 1.0 and 1/9; pooled = 2000/10000 = 0.2.
+	iv = NewRatioInterval([]float64{1000, 1000}, []float64{1000, 9000})
+	if math.Abs(iv.Mean-0.2) > 1e-12 {
+		t.Errorf("pooled ratio %v, want 0.2", iv.Mean)
+	}
+	if iv.HalfWidth <= 0 {
+		t.Error("differing samples must yield a positive half-width")
+	}
+	// Identical samples: exact estimate, zero half-width.
+	iv = NewRatioInterval([]float64{5, 5, 5}, []float64{10, 10, 10})
+	if iv.Mean != 0.5 || iv.HalfWidth != 0 {
+		t.Errorf("identical samples: %+v", iv)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if e := RelErr(1.03, 1.0); math.Abs(e-0.03) > 1e-12 {
+		t.Errorf("RelErr(1.03, 1) = %v", e)
+	}
+	if e := RelErr(0.97, -1.0); math.Abs(e-1.97) > 1e-12 {
+		t.Errorf("RelErr(0.97, -1) = %v", e)
+	}
+	if e := RelErr(0, 0); e != 0 {
+		t.Errorf("RelErr(0, 0) = %v", e)
+	}
+	if e := RelErr(1, 0); !math.IsInf(e, 1) {
+		t.Errorf("RelErr(1, 0) = %v", e)
+	}
+}

@@ -11,6 +11,9 @@
 package tlb
 
 import (
+	"encoding/binary"
+	"fmt"
+
 	"graphmem/internal/mem"
 	"graphmem/internal/stats"
 )
@@ -153,4 +156,122 @@ func (h *Hierarchy) Translate(page mem.PageAddr, now int64) int64 {
 	h.STLB.Fill(page)
 	h.DTLB.Fill(page)
 	return t
+}
+
+// WarmLookup probes for page's translation updating recency only — the
+// functional-warming fast path (internal/sample). No stats counters
+// move, so a warm-up leaves the TLB tags hot and the counters zero.
+func (t *TLB) WarmLookup(page mem.PageAddr) bool {
+	set := t.set(page)
+	for w := range set {
+		if set[w].valid && set[w].page == page {
+			t.clock++
+			set[w].lru = t.clock
+			return true
+		}
+	}
+	return false
+}
+
+// WarmFill inserts page's translation with the same LRU victim choice
+// as Fill but without the eviction counter.
+func (t *TLB) WarmFill(page mem.PageAddr) {
+	set := t.set(page)
+	way, best := 0, int64(1<<63-1)
+	for w := range set {
+		if !set[w].valid {
+			way = w
+			break
+		}
+		if set[w].lru < best {
+			best = set[w].lru
+			way = w
+		}
+	}
+	t.clock++
+	set[way] = entry{page: page, valid: true, lru: t.clock}
+}
+
+// EncodeState appends the TLB's LRU clock and every entry to buf.
+func (t *TLB) EncodeState(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.entries)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.clock))
+	for i := range t.entries {
+		e := &t.entries[i]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.page))
+		if e.valid {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.lru))
+	}
+	return buf
+}
+
+// DecodeState restores state written by EncodeState, rejecting a
+// geometry mismatch, and returns the remaining bytes.
+func (t *TLB) DecodeState(data []byte) ([]byte, error) {
+	if len(data) < 4+8 {
+		return nil, fmt.Errorf("tlb %s: checkpoint truncated", t.cfg.Name)
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n != len(t.entries) {
+		return nil, fmt.Errorf("tlb %s: checkpoint geometry mismatch: %d entries, have %d", t.cfg.Name, n, len(t.entries))
+	}
+	t.clock = int64(binary.LittleEndian.Uint64(data[4:]))
+	data = data[12:]
+	const entryBytes = 8 + 1 + 8
+	if len(data) < n*entryBytes {
+		return nil, fmt.Errorf("tlb %s: checkpoint truncated", t.cfg.Name)
+	}
+	for i := range t.entries {
+		e := &t.entries[i]
+		e.page = mem.PageAddr(binary.LittleEndian.Uint64(data))
+		e.valid = data[8] != 0
+		e.lru = int64(binary.LittleEndian.Uint64(data[9:]))
+		data = data[entryBytes:]
+	}
+	return data, nil
+}
+
+// WarmWalkFunc warm-touches the leaf PTE's block in the hierarchy
+// without timing (the warm counterpart of WalkFunc).
+type WarmWalkFunc func(addr mem.Addr)
+
+// WarmTranslate walks page through the TLB hierarchy updating tags and
+// recency only: no latencies, no stats, no Walks count. warmWalk, when
+// non-nil, receives the leaf PTE address on a full miss so the page
+// table's footprint warms the data caches exactly as a detailed walk
+// would.
+func (h *Hierarchy) WarmTranslate(page mem.PageAddr, warmWalk WarmWalkFunc) {
+	if h.DTLB.WarmLookup(page) {
+		return
+	}
+	if h.STLB.WarmLookup(page) {
+		h.DTLB.WarmFill(page)
+		return
+	}
+	if warmWalk != nil {
+		warmWalk(h.PTBase + mem.Addr(uint64(page)*8))
+	}
+	h.STLB.WarmFill(page)
+	h.DTLB.WarmFill(page)
+}
+
+// EncodeState appends both TLB levels' state to buf. The walk counter
+// is excluded: it is a statistic, and functional warming keeps all
+// statistics at zero.
+func (h *Hierarchy) EncodeState(buf []byte) []byte {
+	buf = h.DTLB.EncodeState(buf)
+	return h.STLB.EncodeState(buf)
+}
+
+// DecodeState restores both TLB levels' state.
+func (h *Hierarchy) DecodeState(data []byte) ([]byte, error) {
+	data, err := h.DTLB.DecodeState(data)
+	if err != nil {
+		return nil, err
+	}
+	return h.STLB.DecodeState(data)
 }
