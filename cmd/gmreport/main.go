@@ -26,17 +26,11 @@ import (
 	"graphmem/internal/harness"
 )
 
-var allExperiments = []string{
-	"tab1", "tab2", "tab3", "tab4",
-	"fig2", "fig3", "fig7", "fig8", "fig9",
-	"fig10", "fig11", "fig12", "tau", "fig13", "fig14", "energy",
-}
-
 func main() {
 	// "latency" (the flight-recorder breakdown) is opt-in: it re-runs
 	// workloads with the recorder on, so 'all' excludes it to keep the
 	// default sweep identical to earlier releases.
-	exp := flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(allExperiments, ",")+",latency) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(graphmem.ExperimentIDs, ",")+",latency) or 'all'")
 	profileName := flag.String("profile", "small", "scale profile: bench|small|full")
 	kernelsFlag := flag.String("kernels", "", "restrict to these kernels (comma separated)")
 	graphsFlag := flag.String("graphs", "", "restrict to these graphs (comma separated)")
@@ -48,6 +42,7 @@ func main() {
 	checkFlag := flag.String("check", "off", "differential checking: off|oracle|full (exit 1 on any violation)")
 	samplePlan := flag.String("sample", "", "run eligible single-core simulations under the statistical sampler \"period,len,offset[,warm]\"; tables show estimates")
 	ckptDir := flag.String("ckpt", "", "warm-up checkpoint store directory (reuses functional warm-ups across the sweep; needs -sample)")
+	storeDir := flag.String("store", "", "disk-backed result store directory (read-through/write-through cache of simulation results; tables are byte-identical with or without it)")
 	metricsAddr := flag.String("metrics", "", "serve live sweep metrics (Prometheus text + expvar) on this address, e.g. :6060")
 	prof := graphmem.RegisterProfilingFlags(flag.CommandLine)
 	flag.Parse()
@@ -103,8 +98,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gmreport: -ckpt needs -sample (checkpoints store sampled warm-ups)")
 		os.Exit(1)
 	}
+	if *storeDir != "" {
+		st, err := graphmem.NewResultStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmreport:", err)
+			os.Exit(1)
+		}
+		wb.Store = st
+	}
 	if *metricsAddr != "" {
 		wb.Metrics = graphmem.NewMetrics()
+		if wb.Store != nil {
+			wb.Metrics.AttachStore(wb.Store)
+		}
 		addr, err := wb.Metrics.Serve(*metricsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gmreport:", err)
@@ -119,11 +125,15 @@ func main() {
 		wb.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}
 
-	subset := subsetFromFlags(*kernelsFlag, *graphsFlag)
+	subset, err := graphmem.SubsetWorkloads(*kernelsFlag, *graphsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gmreport:", err)
+		os.Exit(1)
+	}
 
 	var ids []string
 	if *exp == "all" {
-		ids = allExperiments
+		ids = graphmem.ExperimentIDs
 	} else {
 		ids = strings.Split(*exp, ",")
 	}
@@ -138,7 +148,7 @@ func main() {
 	var done []string
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		t, err := buildTable(wb, id, subset)
+		t, err := wb.Experiment(id, subset)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gmreport:", err)
 			os.Exit(1)
@@ -162,6 +172,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gmreport: checkpoint store %s: %d hits, %d misses\n",
 			wb.Checkpoints.Dir(), wb.Checkpoints.Hits(), wb.Checkpoints.Misses())
 	}
+	if wb.Store != nil {
+		fmt.Fprintf(os.Stderr, "gmreport: %s\n", graphmem.StoreSummary(wb.Store))
+	}
 	if checkLevel != graphmem.CheckOff {
 		runs, violations, details := wb.CheckOutcome()
 		if violations > 0 {
@@ -174,85 +187,6 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "gmreport: differential checker clean across %d checked runs (level %s)\n",
 			runs, checkLevel)
-	}
-}
-
-// subsetFromFlags builds the workload filter; nil means all 36.
-func subsetFromFlags(kernelsFlag, graphsFlag string) []graphmem.WorkloadID {
-	if kernelsFlag == "" && graphsFlag == "" {
-		return nil
-	}
-	want := func(list string, v string) bool {
-		if list == "" {
-			return true
-		}
-		for _, x := range strings.Split(list, ",") {
-			if strings.TrimSpace(x) == v {
-				return true
-			}
-		}
-		return false
-	}
-	var out []graphmem.WorkloadID
-	for _, id := range graphmem.AllWorkloads() {
-		if want(kernelsFlag, id.Kernel) && want(graphsFlag, id.Graph) {
-			out = append(out, id)
-		}
-	}
-	if len(out) == 0 {
-		fmt.Fprintln(os.Stderr, "gmreport: subset filter matched no workloads")
-		os.Exit(1)
-	}
-	return out
-}
-
-// buildTable runs one experiment and returns its renderable table.
-func buildTable(wb *harness.Workbench, id string, subset []graphmem.WorkloadID) (*graphmem.Table, error) {
-	switch id {
-	case "tab1":
-		return wb.Tab1(), nil
-	case "tab2":
-		return wb.Tab2(), nil
-	case "tab3":
-		return wb.Tab3(), nil
-	case "tab4":
-		return wb.Tab4(1), nil
-	case "fig2":
-		return wb.Fig2(subset).Table(), nil
-	case "fig3":
-		id := graphmem.WorkloadID{Kernel: "cc", Graph: "friendster"}
-		if subset != nil {
-			id = subset[0]
-		}
-		return wb.Fig3(id).Table(), nil
-	case "fig7":
-		return wb.Fig7(subset).Table(), nil
-	case "fig8":
-		return wb.Fig89(subset).Fig8Table(), nil
-	case "fig9":
-		return wb.Fig89(subset).Fig9Table(), nil
-	case "fig10":
-		return wb.Fig10(subset).Table(), nil
-	case "fig11":
-		return wb.Fig11(subset).Table(), nil
-	case "fig12":
-		return wb.Fig12(subset).Table(), nil
-	case "tau":
-		return wb.Tau(subset, nil).Table(), nil
-	case "fig13":
-		return wb.Fig13(subset).Table(), nil
-	case "energy":
-		return wb.Energy(subset).Table(), nil
-	case "latency":
-		return wb.LatencyBreakdown(subset).Table(), nil
-	case "fig14":
-		var mixes [][]graphmem.WorkloadID
-		if subset != nil {
-			mixes = graphmem.GenerateMixes(subset, wb.Profile.Mixes, 14)
-		}
-		return wb.Fig14(mixes).Table(), nil
-	default:
-		return nil, fmt.Errorf("unknown experiment %q", id)
 	}
 }
 

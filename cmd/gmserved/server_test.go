@@ -1,0 +1,364 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphmem"
+)
+
+// fastWindows keeps service tests quick: the triad.reg point needs no
+// graph build and finishes in well under a second at these windows.
+const fastWarmup, fastMeasure = 300_000, 150_000
+
+type testService struct {
+	*server
+	ts *httptest.Server
+}
+
+func newTestService(t *testing.T, storeDir string) *testService {
+	t.Helper()
+	var st *graphmem.ResultStore
+	if storeDir != "" {
+		s, err := graphmem.NewResultStore(storeDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = s
+	}
+	metrics := graphmem.NewMetrics()
+	if st != nil {
+		metrics.AttachStore(st)
+	}
+	srv := newServer(st, metrics, 0, 0, nil)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return &testService{server: srv, ts: ts}
+}
+
+func (s *testService) post(t *testing.T, path string, body any) status {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(s.ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: status %d (%s)", path, resp.StatusCode, e["error"])
+	}
+	var st status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// follow consumes the job's event stream to its terminal close and
+// returns the events, blocking until the job finishes — the stream IS
+// the completion signal.
+func (s *testService) follow(t *testing.T, jobID string, sse bool) []string {
+	t.Helper()
+	req, err := http.NewRequest("GET", s.ts.URL+"/api/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sse {
+		req.Header.Set("Accept", "text/event-stream")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	want := "application/x-ndjson"
+	if sse {
+		want = "text/event-stream"
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != want {
+		t.Errorf("event stream Content-Type = %q, want %q", ct, want)
+	}
+	var events []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if sse {
+			events = append(events, strings.TrimPrefix(line, "data: "))
+			continue
+		}
+		var ev map[string]string
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("ndjson stream emitted %q: %v", line, err)
+		}
+		events = append(events, ev["event"])
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func (s *testService) getJSON(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(s.ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func triadRun() runRequest {
+	return runRequest{
+		Profile: "bench", Kernel: "triad", Graph: "reg", Config: "baseline",
+		Warmup: fastWarmup, Measure: fastMeasure,
+	}
+}
+
+// TestServiceRunRoundTrip submits one point, follows its progress
+// stream to completion, and fetches the result: the canonical key, a
+// positive IPC, and the full simulation result come back.
+func TestServiceRunRoundTrip(t *testing.T) {
+	s := newTestService(t, t.TempDir())
+	st := s.post(t, "/api/run", triadRun())
+	if st.State == "done" || st.Kind != "run" {
+		t.Fatalf("submit returned %+v", st)
+	}
+
+	events := s.follow(t, st.ID, false)
+	if len(events) == 0 || !strings.Contains(events[len(events)-1], "done") {
+		t.Fatalf("event stream ended without a done event: %v", events)
+	}
+
+	var res runResult
+	if code := s.getJSON(t, "/api/jobs/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result fetch: status %d", code)
+	}
+	wantKey := fmt.Sprintf("gmresult|v%d|bench|w%d|m%d|Baseline (bench-scale)|triad.reg",
+		graphmem.ResultStateVersion, fastWarmup, fastMeasure)
+	if res.Key != wantKey {
+		t.Errorf("result key = %q, want %q", res.Key, wantKey)
+	}
+	if res.IPC <= 0 || res.Result == nil || res.Result.Workload != "triad.reg" {
+		t.Errorf("implausible result: IPC=%v Result=%+v", res.IPC, res.Result)
+	}
+
+	// Job bookkeeping: listed, status done, and still streamable as a
+	// pure replay (SSE this time).
+	var jobs []status
+	if code := s.getJSON(t, "/api/jobs", &jobs); code != http.StatusOK || len(jobs) != 1 {
+		t.Fatalf("job list: status %d, %d jobs", code, len(jobs))
+	}
+	if jobs[0].State != "done" {
+		t.Errorf("job state = %q, want done", jobs[0].State)
+	}
+	if replay := s.follow(t, st.ID, true); len(replay) != len(events) {
+		t.Errorf("SSE replay has %d events, live stream had %d", len(replay), len(events))
+	}
+}
+
+// TestServiceSecondRequestCached is the dedup guarantee: an identical
+// second submission completes without a new simulation — the memo (and
+// under it, the store) serves it.
+func TestServiceSecondRequestCached(t *testing.T) {
+	s := newTestService(t, t.TempDir())
+
+	first := s.post(t, "/api/run", triadRun())
+	s.follow(t, first.ID, false)
+	_, finished, cached, stored := s.metrics.Counts()
+	if finished != 1 {
+		t.Fatalf("first request ran %d simulations, want 1", finished)
+	}
+
+	second := s.post(t, "/api/run", triadRun())
+	s.follow(t, second.ID, false)
+	_, finished2, cached2, stored2 := s.metrics.Counts()
+	if finished2 != finished {
+		t.Errorf("second identical request ran a new simulation (finished %d → %d)", finished, finished2)
+	}
+	if cached2+stored2 <= cached+stored {
+		t.Error("second request recorded no cache or store hit")
+	}
+
+	var a, b runResult
+	s.getJSON(t, "/api/jobs/"+first.ID+"/result", &a)
+	s.getJSON(t, "/api/jobs/"+second.ID+"/result", &b)
+	if a.Key != b.Key || a.IPC != b.IPC {
+		t.Errorf("cached result diverged: %v/%v vs %v/%v", a.Key, a.IPC, b.Key, b.IPC)
+	}
+
+	// Cross-restart dedup: a fresh server over the same store directory
+	// serves the point from disk, still without simulating.
+	s2 := newTestService(t, s.store.Dir())
+	third := s2.post(t, "/api/run", triadRun())
+	s2.follow(t, third.ID, false)
+	_, finished3, _, stored3 := s2.metrics.Counts()
+	if finished3 != 0 || stored3 != 1 {
+		t.Errorf("restarted server: finished=%d stored=%d, want 0 live runs and 1 store hit", finished3, stored3)
+	}
+	var c runResult
+	s2.getJSON(t, "/api/jobs/"+third.ID+"/result", &c)
+	if c.Key != a.Key || c.IPC != a.IPC {
+		t.Errorf("store-served result diverged: %v/%v vs %v/%v", c.Key, c.IPC, a.Key, a.IPC)
+	}
+}
+
+// TestServiceSweepMatchesLocalHarness submits a one-workload fig10
+// sweep and checks the rendered table is byte-identical to driving the
+// harness directly — the determinism contract over HTTP.
+func TestServiceSweepMatchesLocalHarness(t *testing.T) {
+	s := newTestService(t, t.TempDir())
+	st := s.post(t, "/api/sweep", sweepRequest{
+		Profile: "bench", Experiments: []string{"fig10"},
+		Kernels: "triad", Graphs: "reg",
+		Warmup: fastWarmup, Measure: fastMeasure,
+	})
+	events := s.follow(t, st.ID, false)
+	if len(events) == 0 || !strings.Contains(events[len(events)-1], "done") {
+		t.Fatalf("sweep stream ended without done: %v", events)
+	}
+	var res sweepResult
+	if code := s.getJSON(t, "/api/jobs/"+st.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("sweep result: status %d", code)
+	}
+	if len(res.Tables) != 1 || res.Tables[0].ID != "fig10" {
+		t.Fatalf("sweep returned %+v", res.Tables)
+	}
+
+	profile, err := graphmem.ProfileByName("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile.Warmup, profile.Measure = fastWarmup, fastMeasure
+	wb := graphmem.NewWorkbench(profile)
+	subset, err := graphmem.SubsetWorkloads("triad", "reg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := wb.Experiment("fig10", subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	table.Render(&buf)
+	if res.Tables[0].Text != buf.String() {
+		t.Errorf("service table differs from local harness:\n--- service ---\n%s\n--- local ---\n%s",
+			res.Tables[0].Text, buf.String())
+	}
+}
+
+// TestServiceStoreAndGCEndpoints exercises the operational surface:
+// store stats reflect published entries, /api/gc evicts them, and the
+// metrics endpoint exposes the store counters.
+func TestServiceStoreAndGCEndpoints(t *testing.T) {
+	s := newTestService(t, t.TempDir())
+	st := s.post(t, "/api/run", triadRun())
+	s.follow(t, st.ID, false)
+
+	var stats storeStats
+	if code := s.getJSON(t, "/api/store", &stats); code != http.StatusOK {
+		t.Fatalf("store stats: status %d", code)
+	}
+	if stats.Entries != 1 || stats.Misses != 1 || stats.Bytes == 0 {
+		t.Errorf("after one run: %+v, want 1 entry from 1 miss", stats)
+	}
+
+	resp, err := http.Post(s.ts.URL+"/api/gc?max=0", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gc map[string]int64
+	json.NewDecoder(resp.Body).Decode(&gc)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || gc["removed"] != 1 {
+		t.Errorf("gc: status %d, %+v", resp.StatusCode, gc)
+	}
+	if code := s.getJSON(t, "/api/store", &stats); code != http.StatusOK || stats.Entries != 0 {
+		t.Errorf("after gc: status %d, %+v", code, stats)
+	}
+
+	mresp, err := http.Get(s.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	prom.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, metric := range []string{"graphmem_store_misses_total", "graphmem_store_evictions_total", "graphmem_runs_store_total"} {
+		if !strings.Contains(prom.String(), metric) {
+			t.Errorf("/metrics is missing %s", metric)
+		}
+	}
+}
+
+// TestServiceRejectsBadRequests pins the 4xx surface.
+func TestServiceRejectsBadRequests(t *testing.T) {
+	s := newTestService(t, "")
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/api/run", `{"profile":"bench","kernel":"nope","graph":"reg"}`},
+		{"/api/run", `{"profile":"bench"}`},
+		{"/api/run", `{"profile":"marvel","kernel":"triad","graph":"reg"}`},
+		{"/api/run", `{"profile":"bench","kernel":"triad","graph":"reg","config":"warp-drive"}`},
+		{"/api/sweep", `{"profile":"bench","experiments":[]}`},
+		{"/api/sweep", `{"profile":"bench","experiments":["fig99"]}`},
+		{"/api/sweep", `not json`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(s.ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %s: status %d, want 400", tc.path, tc.body, resp.StatusCode)
+		}
+	}
+	if code := s.getJSON(t, "/api/jobs/j9999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown job status: %d, want 404", code)
+	}
+	if code := s.getJSON(t, "/api/store", nil); code != http.StatusNotFound {
+		t.Errorf("store stats without a store: %d, want 404", code)
+	}
+
+	// A job that is still queued or running answers its result poll with
+	// 409 (retry), not an error.
+	st := s.post(t, "/api/run", triadRun())
+	deadline := time.Now().Add(10 * time.Second)
+	sawConflict := false
+	for time.Now().Before(deadline) {
+		code := s.getJSON(t, "/api/jobs/"+st.ID+"/result", nil)
+		if code == http.StatusConflict {
+			sawConflict = true
+		}
+		if code == http.StatusOK {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawConflict {
+		t.Log("job finished before the first poll; 409 path not observed (benign on fast machines)")
+	}
+}

@@ -22,42 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"graphmem"
 )
-
-func configByName(base graphmem.Config, name string) (graphmem.Config, error) {
-	switch strings.ToLower(name) {
-	case "baseline", "":
-		return base, nil
-	case "sdclp", "sdc+lp":
-		return base.WithSDCLP(), nil
-	case "topt", "t-opt":
-		return base.WithTOPT(), nil
-	case "popt", "p-opt":
-		return base.WithPOPT(), nil
-	case "adaptive":
-		return base.WithAdaptiveLP(), nil
-	case "distill":
-		return base.WithDistill(), nil
-	case "l1diso", "l1d40kb":
-		return base.WithBigL1D(), nil
-	case "2xllc":
-		return base.With2xLLC(), nil
-	case "expert":
-		return base.WithExpert(), nil
-	case "victim":
-		return base.WithVictimCache(8), nil
-	case "rrip", "srrip":
-		return base.WithRRIP(), nil
-	case "bypass":
-		return base.WithBypassOnly(), nil
-	default:
-		return base, fmt.Errorf("unknown config %q (baseline|sdclp|topt|popt|distill|l1diso|2xllc|expert|adaptive|victim|rrip|bypass)", name)
-	}
-}
 
 func main() {
 	kernel := flag.String("kernel", "pr", "kernel: bc|bfs|cc|pr|tc|sssp (or triad|matvec|stencil with -graph reg)")
@@ -70,6 +38,7 @@ func main() {
 	checkFlag := flag.String("check", "off", "differential checking: off|oracle|full (exit 1 on any violation)")
 	samplePlan := flag.String("sample", "", "statistical sampling plan \"period,len,offset[,warm]\" in instructions (single-core only; reports CI estimates)")
 	ckptDir := flag.String("ckpt", "", "warm-up checkpoint store directory (reuses functional warm-ups across runs; needs -sample)")
+	storeDir := flag.String("store", "", "disk-backed result store directory (serves repeated single-core runs from disk; output is byte-identical either way)")
 	frPath := flag.String("fr", "", "enable the memory-hierarchy flight recorder and write a Perfetto/Chrome trace to this path")
 	frInterval := flag.Int64("frint", 0, "flight-recorder occupancy sampling interval in retired instructions (0 = measure/256)")
 	metricsAddr := flag.String("metrics", "", "serve live metrics (Prometheus text + expvar) on this address, e.g. :6060")
@@ -148,8 +117,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gmsim: -ckpt needs -sample (checkpoints store sampled warm-ups)")
 		os.Exit(1)
 	}
+	if *storeDir != "" {
+		if *cores > 1 {
+			fmt.Fprintln(os.Stderr, "gmsim: -store caches single-core runs only (multi-core mixes bypass the workbench memo)")
+			os.Exit(1)
+		}
+		st, err := graphmem.NewResultStore(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gmsim:", err)
+			os.Exit(1)
+		}
+		wb.Store = st
+	}
 	if *metricsAddr != "" {
 		wb.Metrics = graphmem.NewMetrics()
+		if wb.Store != nil {
+			wb.Metrics.AttachStore(wb.Store)
+		}
 		addr, err := wb.Metrics.Serve(*metricsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gmsim:", err)
@@ -175,7 +159,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gmsim: -fr is not supported with -cores > 1")
 			os.Exit(1)
 		}
-		cfg, err := configByName(profile.BaseConfig(*cores), *configName)
+		cfg, err := graphmem.ConfigByName(profile.BaseConfig(*cores), *configName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gmsim:", err)
 			os.Exit(1)
@@ -207,7 +191,7 @@ func main() {
 		return
 	}
 
-	cfg, err := configByName(profile.BaseConfig(1), *configName)
+	cfg, err := graphmem.ConfigByName(profile.BaseConfig(1), *configName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gmsim:", err)
 		os.Exit(1)
@@ -230,6 +214,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gmsim:", err)
 			os.Exit(1)
 		}
+	}
+	if wb.Store != nil {
+		fmt.Fprintf(os.Stderr, "gmsim: %s\n", graphmem.StoreSummary(wb.Store))
 	}
 	checkFailed := checkLevel != graphmem.CheckOff && res.Check.Violations > 0
 	if checkFailed {

@@ -37,6 +37,7 @@ import (
 	"graphmem/internal/sample"
 	"graphmem/internal/sim"
 	"graphmem/internal/stats"
+	"graphmem/internal/store"
 	"graphmem/internal/trace"
 )
 
@@ -106,6 +107,13 @@ type (
 	// CheckpointStore is the disk-backed warm-up checkpoint store
 	// (Workbench.Checkpoints / Config.WithCheckpointStore).
 	CheckpointStore = sample.Store
+	// ResultStore is the disk-backed content-addressed simulation result
+	// store (Workbench.Store / gmserved).
+	ResultStore = store.Store
+	// RunKey is the canonical identity of one simulation point (memo key
+	// + graph identity + sim state version) shared by the memo, the disk
+	// store and gmserved.
+	RunKey = harness.RunKey
 	// StatInterval is a point estimate with a CLT confidence interval.
 	StatInterval = stats.Interval
 )
@@ -135,6 +143,44 @@ func NewCheckpointStore(dir string) (*CheckpointStore, error) { return sample.Ne
 // both the file header and the store lookup, so bumping it invalidates
 // every stored warm-up (use it in CI cache keys).
 const SampleStateVersion = sample.StateVersion
+
+// ResultStateVersion is the simulator behaviour version keying the
+// result store: bumping it (on any change that alters simulated
+// counters) orphans every stored result (use it in CI cache keys).
+const ResultStateVersion = sim.StateVersion
+
+// NewResultStore opens (creating if needed) a disk-backed result store
+// rooted at dir; assign it to Workbench.Store (the -store flag).
+func NewResultStore(dir string) (*ResultStore, error) { return harness.OpenResultStore(dir) }
+
+// NewRunKey derives the canonical run key of a configured run.
+func NewRunKey(cfg Config, id WorkloadID, profile string) RunKey {
+	return harness.NewRunKey(cfg, id, profile)
+}
+
+// StoreSummary renders the one-line result-store outcome the CLI tools
+// print after a sweep.
+func StoreSummary(s *ResultStore) string { return harness.StoreSummary(s) }
+
+// ParseStoreSize parses a byte-size flag value ("64M", "2G", plain
+// bytes) for result-store caps.
+func ParseStoreSize(s string) (int64, error) { return store.ParseSize(s) }
+
+// ExperimentIDs lists every experiment id 'all' expands to, in report
+// order.
+var ExperimentIDs = harness.ExperimentIDs
+
+// SubsetWorkloads builds a workload filter from comma-separated kernel
+// and graph lists; nil means all workloads.
+func SubsetWorkloads(kernelsList, graphsList string) ([]WorkloadID, error) {
+	return harness.SubsetWorkloads(kernelsList, graphsList)
+}
+
+// ConfigByName derives a named machine configuration variant from base
+// ("baseline", "sdclp", "topt", ...).
+func ConfigByName(base Config, name string) (Config, error) {
+	return harness.ConfigByName(base, name)
+}
 
 // RelErr returns |est-ref|/|ref| (0 for 0/0, +Inf for est/0).
 func RelErr(est, ref float64) float64 { return stats.RelErr(est, ref) }

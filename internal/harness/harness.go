@@ -19,6 +19,7 @@ import (
 	"graphmem/internal/obs"
 	"graphmem/internal/sample"
 	"graphmem/internal/sim"
+	"graphmem/internal/store"
 )
 
 // GraphNames lists the six inputs in Table III order.
@@ -209,6 +210,15 @@ type Workbench struct {
 	// byte-identical to re-warmed ones — so the store is deliberately
 	// excluded from memo keys. Exposed as -ckpt.
 	Checkpoints *sample.Store
+	// Store, when set, is the disk-backed content-addressed result
+	// store: a read-through/write-through tier under the in-memory memo
+	// (lookup order: memory → disk → run), keyed by RunKey.StoreKey.
+	// Stored results are byte-identical to live runs, so the tier
+	// affects wall-clock only; checked runs (CheckLevel != Off) bypass
+	// it both ways. Open one with OpenResultStore; cmd/gmreport and
+	// cmd/gmsim expose it as -store, and gmserved fronts one as a
+	// service.
+	Store *store.Store
 
 	mu sync.Mutex
 	// batchMu serializes multi-slot pool acquisitions (acquireN) so two
@@ -407,13 +417,50 @@ func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 	wb.running[key] = l
 	wb.mu.Unlock()
 
+	// Disk tier: with a store attached (and the run unchecked), try the
+	// content address before paying for a live run. The store's Acquire
+	// holds the key's claim from here to commit, so concurrent processes
+	// sharing the directory serialize on the point too. A hit must
+	// decode to exactly the run we asked for; anything else is dropped
+	// (Reject) and the run proceeds live — the cache can never poison a
+	// sweep.
+	var storeCommit func([]byte) error
+	if wb.storeEligible(cfg) {
+		skey := wb.runKeyFor(cfg, id).StoreKey()
+		payload, commit := wb.Store.Acquire(skey)
+		if payload != nil {
+			if res := decodeStored(payload, cfg, id); res != nil {
+				_ = commit(nil)
+				wb.Reporter.Cached(label, fmt.Sprintf("IPC=%.3f (store)", res.IPC()))
+				wb.Metrics.RunStoreHit(mlabel)
+				wb.mu.Lock()
+				wb.results[key] = res
+				delete(wb.running, key)
+				wb.mu.Unlock()
+				l.res = res
+				close(l.done)
+				return res
+			}
+			// Keep the commit: the live rerun below republishes under
+			// the key, healing the rejected entry.
+			wb.Store.Reject(skey)
+			storeCommit = commit
+		} else {
+			storeCommit = commit
+		}
+	}
+
 	wb.acquire()
 	defer wb.release()
 	defer func() {
 		if p := recover(); p != nil {
 			// A crashed run must not poison the pool: unregister the key
-			// so later callers retry, hand joiners the panic value, and
-			// let the deferred release free the worker slot.
+			// so later callers retry, hand joiners the panic value,
+			// release the store claim without publishing, and let the
+			// deferred release free the worker slot.
+			if storeCommit != nil {
+				_ = storeCommit(nil)
+			}
 			wb.mu.Lock()
 			delete(wb.running, key)
 			wb.mu.Unlock()
@@ -430,6 +477,21 @@ func (wb *Workbench) RunSingle(cfg sim.Config, id WorkloadID) *sim.Result {
 	finish(fmt.Sprintf("IPC=%.3f", res.IPC()))
 	wb.Metrics.RunFinished(mlabel, time.Since(start).Seconds(), res.IPC(), res.Recorder)
 	wb.recordCheck(res.Check)
+
+	if storeCommit != nil {
+		// Write-through is best effort: a failed publish costs the next
+		// process a re-run, never correctness.
+		data, err := sim.EncodeResult(res)
+		if err == nil {
+			err = storeCommit(data)
+		} else {
+			_ = storeCommit(nil)
+		}
+		if err != nil {
+			wb.log("result store write failed for %s: %v", key, err)
+		}
+		storeCommit = nil
+	}
 
 	wb.mu.Lock()
 	wb.results[key] = res

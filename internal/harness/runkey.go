@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"graphmem/internal/sim"
+)
+
+// RunKey is the canonical identity of one single-core simulation point,
+// shared by the in-memory memo, the disk-backed result store, and
+// gmserved. It binds three layers:
+//
+//   - Memo: the historical in-process memoization string (config name,
+//     workload, and the engine-mode suffixes — see memoKey). Unchanged
+//     from the ad-hoc concatenation it replaces, pinned by test.
+//   - Profile + Warmup/Measure: the workload/graph identity. A profile
+//     name fixes the graph generators and their seeds/sizes (Table III
+//     scaling), and the windows fix which instructions are measured, so
+//     together they identify the simulated input exactly. Generator
+//     changes must bump sim.StateVersion.
+//   - sim.StateVersion enters via StoreKey's preimage (and the file
+//     framing), orphaning stored entries whenever simulated counters
+//     could change.
+type RunKey struct {
+	// Memo is the historical in-memory memoization key.
+	Memo string
+	// Profile names the scale profile ("bench", "small", "full") whose
+	// generators built the workload's graph.
+	Profile string
+	// Warmup and Measure are the single-core instruction windows the
+	// run used.
+	Warmup, Measure int64
+}
+
+// NewRunKey derives the canonical key of a configured run. cfg must
+// already be the configured (windows + check level + sampling applied)
+// config — Workbench.runKeyFor does this.
+func NewRunKey(cfg sim.Config, id WorkloadID, profile string) RunKey {
+	return RunKey{
+		Memo:    memoKey(cfg, id),
+		Profile: profile,
+		Warmup:  cfg.Warmup,
+		Measure: cfg.Measure,
+	}
+}
+
+// String renders the full key anatomy (for diagnostics and the README's
+// key-anatomy docs): version, profile, windows, memo.
+func (k RunKey) String() string {
+	return fmt.Sprintf("gmresult|v%d|%s|w%d|m%d|%s",
+		sim.StateVersion, k.Profile, k.Warmup, k.Measure, k.Memo)
+}
+
+// StoreKey is the content address of the run in the disk store: the
+// first 16 bytes of the sha256 over the full anatomy, hex-encoded. The
+// hash keeps file names short and uniform while the preimage carries
+// every invalidation axis (bumping sim.StateVersion changes every
+// address, orphaning old entries for GC to reap).
+func (k RunKey) StoreKey() string {
+	h := sha256.Sum256([]byte(k.String()))
+	return hex.EncodeToString(h[:16])
+}
+
+// runKeyFor derives the canonical key of a run as this workbench would
+// execute it.
+func (wb *Workbench) runKeyFor(cfg sim.Config, id WorkloadID) RunKey {
+	return NewRunKey(cfg, id, wb.Profile.Name)
+}
+
+// memoKey is the in-memory memoization key of a job. A flight-recorded
+// run is a distinct key: its counters are bit-identical to the
+// unrecorded run's, but only it carries a Recorder summary, and sharing
+// the key either way would hand one caller the wrong shape. A
+// bound–weave run is also a distinct key — its counters depend on the
+// quantum — but the weave worker count is deliberately excluded:
+// results are identical at any WeaveWorkers, so -wj 1 and -wj 8 must
+// share memo entries. A sampled run is a distinct key per schedule —
+// its counters are estimates whose values depend on the plan — while
+// the checkpoint store is excluded like the weave worker count:
+// restored and re-warmed runs are byte-identical, so the store affects
+// wall-clock only. With sampling disabled the key is byte-identical to
+// what it always was.
+func memoKey(cfg sim.Config, id WorkloadID) string {
+	k := cfg.Name + "|" + id.String()
+	if cfg.FlightRecorder {
+		k += "|fr"
+	}
+	if cfg.Quantum > 0 {
+		k += "|bw" + strconv.FormatInt(cfg.Quantum, 10)
+	}
+	if p := cfg.Sampling.Plan; p.Enabled() {
+		k += "|sp" + strconv.FormatInt(p.Period, 10) +
+			"/" + strconv.FormatInt(p.SampleLen, 10) +
+			"/" + strconv.FormatInt(p.Offset, 10) +
+			"/" + strconv.FormatInt(p.DetailWarm, 10)
+		if cfg.Sampling.MisWarm {
+			k += "|mw"
+		}
+	}
+	return k
+}
+
+// runKey is memoKey's historical name, kept for the scheduler tests
+// that pin the memo-key format.
+func runKey(cfg sim.Config, id WorkloadID) string { return memoKey(cfg, id) }

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"graphmem/internal/sample"
+	"graphmem/internal/sim"
+)
+
+// TestMemoKeysUnchanged pins the historical in-memory memo keys: RunKey
+// replaced the scheduler's ad-hoc string concatenation, and any drift
+// here silently invalidates memo sharing between experiments (and,
+// through StoreKey's preimage, every disk store on earth).
+func TestMemoKeysUnchanged(t *testing.T) {
+	id := WorkloadID{Kernel: "pr", Graph: "kron"}
+	base := sim.TableI(1).WithWindows(4_000_000, 4_000_000)
+
+	fr := base
+	fr.FlightRecorder = true
+	bw := base.WithBoundWeave(1024, 4)
+	sp := base
+	sp.Sampling.Plan = sample.Plan{Period: 100, SampleLen: 10, Offset: 5, DetailWarm: 2}
+	sp.Sampling.MisWarm = true
+	spNoMW := sp
+	spNoMW.Sampling.MisWarm = false
+
+	cases := []struct {
+		name string
+		cfg  sim.Config
+		want string
+	}{
+		{"plain", base, "Baseline|pr.kron"},
+		{"named variant", base.WithSDCLP(), "SDC+LP|pr.kron"},
+		{"flight recorder", fr, "Baseline|pr.kron|fr"},
+		{"bound-weave", bw, "Baseline|pr.kron|bw1024"},
+		{"sampled+miswarm", sp, "Baseline|pr.kron|sp100/10/5/2|mw"},
+		{"sampled", spNoMW, "Baseline|pr.kron|sp100/10/5/2"},
+	}
+	for _, tc := range cases {
+		if got := memoKey(tc.cfg, id); got != tc.want {
+			t.Errorf("%s: memoKey = %q, want %q", tc.name, got, tc.want)
+		}
+		// runKey is the historical name and must stay an exact alias.
+		if got := runKey(tc.cfg, id); got != memoKey(tc.cfg, id) {
+			t.Errorf("%s: runKey diverged from memoKey", tc.name)
+		}
+	}
+}
+
+// TestRunKeyAnatomyAndStoreKey pins the full key anatomy and its
+// content address. The StoreKey canary is deliberate: changing the
+// preimage format (or sim.StateVersion) orphans every existing store,
+// which must be a conscious, test-acknowledged decision.
+func TestRunKeyAnatomyAndStoreKey(t *testing.T) {
+	cfg := sim.TableI(1).WithWindows(4_000_000, 4_000_000)
+	id := WorkloadID{Kernel: "pr", Graph: "kron"}
+	k := NewRunKey(cfg, id, "bench")
+
+	if k.Memo != "Baseline|pr.kron" || k.Profile != "bench" || k.Warmup != 4_000_000 || k.Measure != 4_000_000 {
+		t.Fatalf("RunKey fields: %+v", k)
+	}
+	wantAnatomy := "gmresult|v1|bench|w4000000|m4000000|Baseline|pr.kron"
+	if got := k.String(); got != wantAnatomy {
+		t.Errorf("anatomy = %q, want %q", got, wantAnatomy)
+	}
+	// sha256("gmresult|v1|bench|w4000000|m4000000|Baseline|pr.kron")[:16],
+	// valid while sim.StateVersion == 1.
+	const canary = "f872be46cb1374490e623fad419ba197"
+	if got := k.StoreKey(); got != canary {
+		t.Errorf("StoreKey = %q, want %q (preimage or StateVersion changed?)", got, canary)
+	}
+
+	// Every axis must move the address.
+	perturb := []RunKey{
+		{Memo: "SDC+LP|pr.kron", Profile: "bench", Warmup: 4_000_000, Measure: 4_000_000},
+		{Memo: "Baseline|pr.kron", Profile: "small", Warmup: 4_000_000, Measure: 4_000_000},
+		{Memo: "Baseline|pr.kron", Profile: "bench", Warmup: 8_000_000, Measure: 4_000_000},
+		{Memo: "Baseline|pr.kron", Profile: "bench", Warmup: 4_000_000, Measure: 8_000_000},
+	}
+	for _, p := range perturb {
+		if p.StoreKey() == canary {
+			t.Errorf("perturbed key %+v collides with the canary", p)
+		}
+	}
+	if !strings.Contains(k.String(), k.Memo) {
+		t.Error("anatomy must embed the memo key verbatim")
+	}
+}
+
+// TestWorkbenchRunKeyMatchesScheduler ensures the workbench derives the
+// canonical key from the same configured config the scheduler memoizes
+// under — the invariant that makes planJobs' store probe agree with
+// RunSingle's lookup.
+func TestWorkbenchRunKeyMatchesScheduler(t *testing.T) {
+	wb := NewWorkbench(fastBench())
+	id := WorkloadID{Kernel: "triad", Graph: "reg"}
+	cfg := wb.configured(wb.Profile.BaseConfig(1))
+	k := wb.runKeyFor(cfg, id)
+	if k.Memo != memoKey(cfg, id) {
+		t.Errorf("runKeyFor memo %q != scheduler memo %q", k.Memo, memoKey(cfg, id))
+	}
+	if k.Profile != "bench" || k.Warmup != wb.Profile.Warmup || k.Measure != wb.Profile.Measure {
+		t.Errorf("runKeyFor identity fields: %+v", k)
+	}
+}

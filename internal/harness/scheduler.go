@@ -2,7 +2,6 @@ package harness
 
 import (
 	"runtime"
-	"strconv"
 	"sync"
 
 	"graphmem/internal/graph"
@@ -23,38 +22,6 @@ import (
 type runReq struct {
 	cfg sim.Config
 	id  WorkloadID
-}
-
-// runKey is the memoization key of a job. A flight-recorded run is a
-// distinct key: its counters are bit-identical to the unrecorded run's,
-// but only it carries a Recorder summary, and sharing the key either
-// way would hand one caller the wrong shape. A bound–weave run is also
-// a distinct key — its counters depend on the quantum — but the weave
-// worker count is deliberately excluded: results are identical at any
-// WeaveWorkers, so -wj 1 and -wj 8 must share memo entries. A sampled
-// run is a distinct key per schedule — its counters are estimates whose
-// values depend on the plan — while the checkpoint store is excluded
-// like the weave worker count: restored and re-warmed runs are
-// byte-identical, so the store affects wall-clock only. With sampling
-// disabled the key is byte-identical to what it always was.
-func runKey(cfg sim.Config, id WorkloadID) string {
-	k := cfg.Name + "|" + id.String()
-	if cfg.FlightRecorder {
-		k += "|fr"
-	}
-	if cfg.Quantum > 0 {
-		k += "|bw" + strconv.FormatInt(cfg.Quantum, 10)
-	}
-	if p := cfg.Sampling.Plan; p.Enabled() {
-		k += "|sp" + strconv.FormatInt(p.Period, 10) +
-			"/" + strconv.FormatInt(p.SampleLen, 10) +
-			"/" + strconv.FormatInt(p.Offset, 10) +
-			"/" + strconv.FormatInt(p.DetailWarm, 10)
-		if cfg.Sampling.MisWarm {
-			k += "|mw"
-		}
-	}
-	return k
 }
 
 // jobsFor builds one job per workload on a shared config.
@@ -163,16 +130,18 @@ func (wb *Workbench) acquireSim(cfg sim.Config) (sim.Config, int) {
 }
 
 // planJobs registers the jobs that will actually execute with the
-// progress reporter: memoized and already-in-flight keys are excluded
-// (they self-report as cached on completion), as are duplicates within
-// the job list, so done/total and the ETA stay consistent however much
-// of a sweep earlier experiments already computed.
+// progress reporter: memoized, already-in-flight, and disk-store-held
+// keys are excluded (they self-report as cached on completion), as are
+// duplicates within the job list, so done/total and the ETA stay
+// consistent however much of a sweep earlier experiments (or earlier
+// processes, via the store) already computed.
 func (wb *Workbench) planJobs(jobs []runReq) {
 	live := 0
 	seen := make(map[string]bool, len(jobs))
 	wb.mu.Lock()
 	for _, j := range jobs {
-		key := runKey(wb.configured(j.cfg), j.id)
+		cfg := wb.configured(j.cfg)
+		key := memoKey(cfg, j.id)
 		if seen[key] {
 			continue
 		}
@@ -181,6 +150,9 @@ func (wb *Workbench) planJobs(jobs []runReq) {
 			continue
 		}
 		if _, ok := wb.running[key]; ok {
+			continue
+		}
+		if wb.storeEligible(cfg) && wb.Store.Contains(NewRunKey(cfg, j.id, wb.Profile.Name).StoreKey()) {
 			continue
 		}
 		live++

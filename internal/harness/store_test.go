@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"graphmem/internal/check"
+	"graphmem/internal/obs"
+	"graphmem/internal/sim"
+	"graphmem/internal/store"
+)
+
+// renderStoredSweep renders Fig. 3 + Fig. 10 (the parallel-determinism
+// suite's sweep) on a fresh workbench backed by st (nil = no disk tier)
+// and returns the rendered bytes, the metrics registry, and the final
+// progress counts.
+func renderStoredSweep(t *testing.T, st *store.Store) (string, *obs.Metrics, int, int) {
+	t.Helper()
+	wb := NewWorkbench(fastBench())
+	wb.Store = st
+	wb.Metrics = obs.NewMetrics()
+	if st != nil {
+		wb.Metrics.AttachStore(st)
+	}
+	var buf bytes.Buffer
+	wb.Fig3(WorkloadID{Kernel: "cc", Graph: "kron"}).Table().Render(&buf)
+	wb.Fig10(subsetKron()).Table().Render(&buf)
+	done, total, _, _ := wb.Reporter.Snapshot()
+	return buf.String(), wb.Metrics, done, total
+}
+
+// TestStoreReportsByteIdentical is the tier's acceptance gate: a sweep
+// rendered live, through a cold store, and through a warm store is
+// byte-identical, and the warm pass executes zero simulations (every
+// point — including the Fig. 3 profiling run — is a store hit).
+func TestStoreReportsByteIdentical(t *testing.T) {
+	live, _, _, _ := renderStoredSweep(t, nil)
+
+	dir := t.TempDir()
+	cold, err := OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOut, coldM, coldDone, coldTotal := renderStoredSweep(t, cold)
+	if coldOut != live {
+		t.Errorf("cold-store sweep differs from live:\n--- live ---\n%s\n--- cold ---\n%s", live, coldOut)
+	}
+	if h, m := cold.Hits(), cold.Misses(); h != 0 || m == 0 {
+		t.Errorf("cold pass: hits=%d misses=%d, want 0 hits and every point a miss", h, m)
+	}
+	_, coldFinished, _, coldStored := coldM.Counts()
+	if coldFinished == 0 || coldStored != 0 {
+		t.Errorf("cold pass: finished=%d stored=%d, want live runs and no store hits", coldFinished, coldStored)
+	}
+	entries, _, err := cold.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != int(cold.Misses()) {
+		t.Errorf("store holds %d entries after %d misses; every miss must publish", entries, cold.Misses())
+	}
+
+	// Warm: a fresh workbench and a fresh store handle over the same
+	// directory, as a new process would see it.
+	warm, err := OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOut, warmM, warmDone, warmTotal := renderStoredSweep(t, warm)
+	if warmOut != live {
+		t.Errorf("warm-store sweep differs from live:\n--- live ---\n%s\n--- warm ---\n%s", live, warmOut)
+	}
+	if h, m := warm.Hits(), warm.Misses(); m != 0 || h != cold.Misses() {
+		t.Errorf("warm pass: hits=%d misses=%d, want every cold miss (%d) served as a hit", h, m, cold.Misses())
+	}
+	_, warmFinished, _, warmStored := warmM.Counts()
+	if warmFinished != 0 {
+		t.Errorf("warm pass executed %d live simulations, want 0", warmFinished)
+	}
+	if warmStored == 0 {
+		t.Error("warm pass recorded no store hits in metrics")
+	}
+	// Progress accounting must close at every tier (store hits self-plan).
+	if coldDone != coldTotal || warmDone != warmTotal {
+		t.Errorf("progress counts did not close: cold %d/%d, warm %d/%d",
+			coldDone, coldTotal, warmDone, warmTotal)
+	}
+}
+
+// storeRunOnce runs triad.reg on the baseline through a workbench
+// backed by a fresh handle over dir, returning the result and the
+// number of live simulations it took.
+func storeRunOnce(t *testing.T, dir string) (*sim.Result, int64) {
+	t.Helper()
+	st, err := OpenResultStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := NewWorkbench(fastBench())
+	wb.Store = st
+	wb.Metrics = obs.NewMetrics()
+	res := wb.RunSingle(wb.Profile.BaseConfig(1), WorkloadID{Kernel: "triad", Graph: "reg"})
+	_, finished, _, _ := wb.Metrics.Counts()
+	return res, finished
+}
+
+// TestStoreDamageFallsBackToLive mirrors the checkpoint store's damage
+// test at the harness level: corrupted, truncated, and wrong-point
+// entries silently fall back to a live run whose result matches the
+// original, and the rerun heals the store entry.
+func TestStoreDamageFallsBackToLive(t *testing.T) {
+	id := WorkloadID{Kernel: "triad", Graph: "reg"}
+	damage := map[string]func(t *testing.T, path string, good *sim.Result){
+		"corrupt": func(t *testing.T, path string, _ *sim.Result) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 1
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"truncated": func(t *testing.T, path string, _ *sim.Result) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		// A well-framed payload for the wrong point (hash collision or
+		// an operator copying files between stores): decodeStored must
+		// reject it by identity, not checksum.
+		"wrong point": func(t *testing.T, path string, good *sim.Result) {
+			other := *good
+			other.Workload = "pr.kron"
+			payload, err := sim.EncodeResult(&other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, sim.ResultFraming().Encode(payload), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, mutate := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			good, finished := storeRunOnce(t, dir)
+			if finished != 1 {
+				t.Fatalf("seeding pass ran %d simulations, want 1", finished)
+			}
+
+			// Locate and damage the entry on disk.
+			st, err := OpenResultStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wb := NewWorkbench(fastBench())
+			wb.Store = st
+			skey := wb.runKeyFor(wb.configured(wb.Profile.BaseConfig(1)), id).StoreKey()
+			if !st.Contains(skey) {
+				t.Fatalf("seeded store does not contain %s", skey)
+			}
+			mutate(t, st.Path(skey), good)
+
+			rerun, finished := storeRunOnce(t, dir)
+			if finished != 1 {
+				t.Errorf("damaged entry did not fall back to a live run (finished=%d)", finished)
+			}
+			if !reflect.DeepEqual(good, rerun) {
+				t.Errorf("recovered result differs from the original:\n good: %+v\nrerun: %+v", good, rerun)
+			}
+			// The rerun must have healed the entry: a third pass hits.
+			healed, finished := storeRunOnce(t, dir)
+			if finished != 0 {
+				t.Errorf("healed entry missed (finished=%d)", finished)
+			}
+			if !reflect.DeepEqual(good, healed) {
+				t.Error("healed result differs from the original")
+			}
+		})
+	}
+}
+
+// TestStoreConcurrentWorkbenches drives two workbenches (two store
+// handles over one directory, as two processes would be) at the same
+// point concurrently: the claim protocol lets exactly one simulate and
+// the other returns the published result.
+func TestStoreConcurrentWorkbenches(t *testing.T) {
+	dir := t.TempDir()
+	type outcome struct {
+		res      *sim.Result
+		finished int64
+	}
+	ch := make(chan outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			res, finished := storeRunOnce(t, dir)
+			ch <- outcome{res, finished}
+		}()
+	}
+	a, b := <-ch, <-ch
+	if a.finished+b.finished != 1 {
+		t.Errorf("%d live simulations across two workbenches, want exactly 1 (claim dedup)",
+			a.finished+b.finished)
+	}
+	if !reflect.DeepEqual(a.res, b.res) {
+		t.Error("the two workbenches returned different results for one point")
+	}
+}
+
+// TestCheckedRunsBypassStore pins the eligibility rule: a checked run
+// neither reads nor writes the store (the checker's value is the
+// execution itself), and its checked result never leaks to disk.
+func TestCheckedRunsBypassStore(t *testing.T) {
+	st, err := OpenResultStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := NewWorkbench(fastBench())
+	wb.Store = st
+	wb.CheckLevel = check.Full
+	wb.RunSingle(wb.Profile.BaseConfig(1), WorkloadID{Kernel: "triad", Graph: "reg"})
+	if h, m := st.Hits(), st.Misses(); h != 0 || m != 0 {
+		t.Errorf("checked run touched the store: hits=%d misses=%d", h, m)
+	}
+	entries, _, err := st.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 0 {
+		t.Errorf("checked run published %d store entries, want 0", entries)
+	}
+}

@@ -25,9 +25,20 @@ type Metrics struct {
 	total    int64 // planned live runs
 	done     int64 // finished live runs
 	cached   int64 // memo-served runs
+	stored   int64 // disk-store-served runs
+	store    StoreCounters
 	inflight map[string]time.Time
 	// runs holds the latest finished-run summaries, keyed by run label.
 	runs map[string]runMetrics
+}
+
+// StoreCounters is the face of a disk result store the metrics endpoint
+// exports: cumulative lookup and eviction counts. *store.Store
+// implements it.
+type StoreCounters interface {
+	Hits() int64
+	Misses() int64
+	Evictions() int64
 }
 
 // runMetrics is one finished run's exported state.
@@ -89,6 +100,39 @@ func (m *Metrics) RunCached(label string) {
 	m.mu.Unlock()
 }
 
+// RunStoreHit records a run served from the disk result store.
+func (m *Metrics) RunStoreHit(label string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.stored++
+	m.mu.Unlock()
+}
+
+// AttachStore registers the disk result store whose hit/miss/eviction
+// counters /metrics exports. A nil receiver or store is a no-op.
+func (m *Metrics) AttachStore(s StoreCounters) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.store = s
+	m.mu.Unlock()
+}
+
+// Counts returns the run-outcome counters (planned and finished live
+// runs, memo-served runs, disk-store-served runs) — the handle tests
+// use to assert a warm sweep executed zero simulations.
+func (m *Metrics) Counts() (planned, finished, cached, stored int64) {
+	if m == nil {
+		return 0, 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total, m.done, m.cached, m.stored
+}
+
 // promEscape escapes a Prometheus label value.
 func promEscape(v string) string {
 	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
@@ -107,6 +151,19 @@ func (m *Metrics) WritePrometheus(b *strings.Builder) {
 	counter("graphmem_runs_planned_total", "Live simulation runs planned for the sweep.", m.total)
 	counter("graphmem_runs_finished_total", "Live simulation runs finished.", m.done)
 	counter("graphmem_runs_cached_total", "Runs served from the sweep memo cache.", m.cached)
+	counter("graphmem_runs_store_total", "Runs served from the disk result store.", m.stored)
+
+	if m.store != nil {
+		hits, misses := m.store.Hits(), m.store.Misses()
+		counter("graphmem_store_hits_total", "Disk result store lookups served from disk.", hits)
+		counter("graphmem_store_misses_total", "Disk result store lookups that ran live.", misses)
+		counter("graphmem_store_evictions_total", "Disk result store entries evicted by the size cap or GC.", m.store.Evictions())
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(b, "# HELP graphmem_store_hit_ratio Disk result store hit ratio since start.\n# TYPE graphmem_store_hit_ratio gauge\ngraphmem_store_hit_ratio %g\n", ratio)
+	}
 
 	fmt.Fprintf(b, "# HELP graphmem_runs_in_flight Simulation runs currently executing.\n# TYPE graphmem_runs_in_flight gauge\ngraphmem_runs_in_flight %d\n", len(m.inflight))
 	fmt.Fprintf(b, "# HELP graphmem_uptime_seconds Seconds since the metrics registry started.\n# TYPE graphmem_uptime_seconds gauge\ngraphmem_uptime_seconds %g\n", time.Since(m.started).Seconds())
@@ -164,12 +221,19 @@ func (m *Metrics) snapshot() map[string]any {
 		inflight = append(inflight, l)
 	}
 	sort.Strings(inflight)
-	return map[string]any{
+	out := map[string]any{
 		"runs_planned":  m.total,
 		"runs_finished": m.done,
 		"runs_cached":   m.cached,
+		"runs_store":    m.stored,
 		"in_flight":     inflight,
 	}
+	if m.store != nil {
+		out["store_hits"] = m.store.Hits()
+		out["store_misses"] = m.store.Misses()
+		out["store_evictions"] = m.store.Evictions()
+	}
+	return out
 }
 
 // activeMetrics is the registry expvar reads from: expvar.Publish is

@@ -2,13 +2,13 @@ package sample
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"graphmem/internal/store"
 )
 
 // StateVersion identifies the µarch-state checkpoint payload layout
@@ -17,16 +17,22 @@ import (
 // deserializes (or even looks up) a stale file.
 const StateVersion = 1
 
-// ckptMagic opens every checkpoint file.
-var ckptMagic = [8]byte{'G', 'M', 'W', 'C', 'K', 'P', 'T', '\n'}
+// ckptFraming is the checkpoint file identity: the framing (magic +
+// version + length + sha256) is the shared internal/store
+// implementation, bound to this package's magic and StateVersion.
+var ckptFraming = store.Framing{
+	Magic:   [8]byte{'G', 'M', 'W', 'C', 'K', 'P', 'T', '\n'},
+	Version: StateVersion,
+}
 
-// Errors surfaced by checkpoint decoding. Version mismatches and
-// corrupt/truncated files are ordinary cache misses to callers (the
+// Errors surfaced by checkpoint decoding, aliased to the shared framing
+// errors so errors.Is works across both packages. Version mismatches
+// and corrupt/truncated files are ordinary cache misses to callers (the
 // warm-up is simply replayed), but they are distinguishable for tests
 // and diagnostics.
 var (
-	ErrVersionMismatch = errors.New("sample: checkpoint version mismatch")
-	ErrCorrupt         = errors.New("sample: checkpoint truncated or corrupt")
+	ErrVersionMismatch = store.ErrVersionMismatch
+	ErrCorrupt         = store.ErrCorrupt
 )
 
 // Key derives a checkpoint-store key from the three identity components
@@ -41,41 +47,10 @@ func Key(workloadHash, warmConfigHash string) string {
 // Encode frames a checkpoint payload: magic, state version, payload
 // length, payload checksum, payload. The checksum makes truncation and
 // bit-rot detectable without trusting the payload's internal structure.
-func Encode(payload []byte) []byte {
-	out := make([]byte, 0, len(payload)+8+4+8+32)
-	out = append(out, ckptMagic[:]...)
-	out = binary.LittleEndian.AppendUint32(out, StateVersion)
-	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
-	sum := sha256.Sum256(payload)
-	out = append(out, sum[:]...)
-	out = append(out, payload...)
-	return out
-}
+func Encode(payload []byte) []byte { return ckptFraming.Encode(payload) }
 
 // Decode validates a framed checkpoint and returns its payload.
-func Decode(data []byte) ([]byte, error) {
-	const headerLen = 8 + 4 + 8 + 32
-	if len(data) < headerLen {
-		return nil, ErrCorrupt
-	}
-	if [8]byte(data[:8]) != ckptMagic {
-		return nil, ErrCorrupt
-	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != StateVersion {
-		return nil, fmt.Errorf("%w: file v%d, simulator v%d", ErrVersionMismatch, v, StateVersion)
-	}
-	n := binary.LittleEndian.Uint64(data[12:20])
-	payload := data[headerLen:]
-	if uint64(len(payload)) != n {
-		return nil, fmt.Errorf("%w: payload %d bytes, header says %d", ErrCorrupt, len(payload), n)
-	}
-	var sum [32]byte
-	copy(sum[:], data[20:52])
-	if sha256.Sum256(payload) != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
-	}
-	return payload, nil
-}
+func Decode(data []byte) ([]byte, error) { return ckptFraming.Decode(data) }
 
 // Store is the disk-backed checkpoint store: one framed file per key
 // under a directory, with per-key single-flight so a sweep of N configs
@@ -164,27 +139,11 @@ func (s *Store) Acquire(key string) (payload []byte, done func([]byte) error) {
 	}
 }
 
-// write commits a payload atomically (tmp + rename) so a crashed or
-// interrupted run can never leave a half-written checkpoint that a
-// later run would trust.
+// write commits a payload atomically (the shared tmp + rename helper)
+// so a crashed or interrupted run can never leave a half-written
+// checkpoint that a later run would trust.
 func (s *Store) write(key string, payload []byte) error {
-	framed := Encode(payload)
-	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
-	if err != nil {
-		return fmt.Errorf("sample: checkpoint write: %w", err)
-	}
-	name := tmp.Name()
-	if _, err := tmp.Write(framed); err != nil {
-		tmp.Close()
-		os.Remove(name)
-		return fmt.Errorf("sample: checkpoint write: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(name)
-		return fmt.Errorf("sample: checkpoint write: %w", err)
-	}
-	if err := os.Rename(name, s.Path(key)); err != nil {
-		os.Remove(name)
+	if err := store.WriteFileAtomic(s.dir, s.Path(key), Encode(payload)); err != nil {
 		return fmt.Errorf("sample: checkpoint write: %w", err)
 	}
 	return nil

@@ -1,0 +1,308 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, testFraming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreMissThenHit(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	payload, commit := s.Acquire("k1")
+	if payload != nil {
+		t.Fatal("fresh store returned a payload")
+	}
+	if err := commit([]byte("result-1")); err != nil {
+		t.Fatal(err)
+	}
+	got, commit2 := s.Acquire("k1")
+	if !bytes.Equal(got, []byte("result-1")) {
+		t.Fatalf("hit returned %q", got)
+	}
+	if err := commit2(nil); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := s.Hits(), s.Misses(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+	if !s.Contains("k1") || s.Contains("k2") {
+		t.Fatal("Contains disagrees with the published set")
+	}
+}
+
+func TestStoreAbortedCommitPublishesNothing(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	if payload, commit := s.Acquire("k"); payload != nil {
+		t.Fatal("fresh store returned a payload")
+	} else if err := commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains("k") {
+		t.Fatal("aborted commit published an entry")
+	}
+	// The claim must have been released: a second miss can claim again.
+	if _, err := os.Stat(s.claimPath("k")); !os.IsNotExist(err) {
+		t.Fatalf("claim file survived the aborted commit: %v", err)
+	}
+}
+
+// TestStoreRejectsDamagedFiles mirrors the checkpoint store's damage
+// test: corrupted, truncated, and stale-version entries all read as
+// misses (never an error, never a poisoned payload) and are overwritten
+// by the next commit.
+func TestStoreRejectsDamagedFiles(t *testing.T) {
+	damage := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"corrupt payload", func(d []byte) []byte { return flipBit(d, len(d)-1) }},
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"stale version", func(d []byte) []byte {
+			stale := Framing{Magic: testFraming.Magic, Version: testFraming.Version + 1}
+			return stale.Encode([]byte("payload"))
+		}},
+		{"empty file", func(d []byte) []byte { return nil }},
+	}
+	for _, tc := range damage {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTest(t, t.TempDir())
+			_, commit := s.Acquire("k")
+			if err := commit([]byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			good, err := os.ReadFile(s.Path("k"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(s.Path("k"), tc.mut(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			payload, commit := s.Acquire("k")
+			if payload != nil {
+				t.Fatalf("damaged entry surfaced a payload: %q", payload)
+			}
+			if err := commit([]byte("recomputed")); err != nil {
+				t.Fatal(err)
+			}
+			got, commit3 := s.Acquire("k")
+			if !bytes.Equal(got, []byte("recomputed")) {
+				t.Fatalf("recovery commit not readable: %q", got)
+			}
+			commit3(nil)
+		})
+	}
+}
+
+// TestStoreConcurrentSameKeyWriters drives many goroutines at one key:
+// exactly one computes (single-flight), the rest hit its committed
+// payload, and the store never surfaces a partial or mixed file.
+func TestStoreConcurrentSameKeyWriters(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	const n = 16
+	var computes int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload, commit := s.Acquire("shared")
+			if payload == nil {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				if err := commit([]byte("the one true payload")); err != nil {
+					t.Error(err)
+				}
+				return
+			}
+			if !bytes.Equal(payload, []byte("the one true payload")) {
+				t.Errorf("joiner read %q", payload)
+			}
+			commit(nil)
+		}()
+	}
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("%d goroutines computed the key, want exactly 1", computes)
+	}
+	if h, m := s.Hits(), s.Misses(); h != n-1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", h, m, n-1)
+	}
+}
+
+// TestStoreCrossProcessClaim simulates two processes (two Store handles
+// on one directory): the loser of the claim race waits for the winner's
+// publication and returns it as a hit.
+func TestStoreCrossProcessClaim(t *testing.T) {
+	dir := t.TempDir()
+	winner := openTest(t, dir)
+	loser := openTest(t, dir)
+	loser.ClaimWait = 5 * time.Second
+
+	p, commitW := winner.Acquire("k")
+	if p != nil {
+		t.Fatal("winner hit on an empty store")
+	}
+	done := make(chan []byte, 1)
+	go func() {
+		payload, commit := loser.Acquire("k")
+		commit(nil)
+		done <- payload
+	}()
+	// Give the loser time to lose the claim race and start polling,
+	// then publish.
+	time.Sleep(100 * time.Millisecond)
+	if err := commitW([]byte("winner's result")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case payload := <-done:
+		if !bytes.Equal(payload, []byte("winner's result")) {
+			t.Fatalf("loser got %q (nil means it gave up and would recompute)", payload)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("loser never returned")
+	}
+}
+
+// TestStoreClaimZeroWaitFallsBackToCompute pins the degraded mode: with
+// ClaimWait 0 a lost claim means compute-it-yourself, duplicating work
+// but never blocking or failing.
+func TestStoreClaimZeroWaitFallsBackToCompute(t *testing.T) {
+	dir := t.TempDir()
+	winner := openTest(t, dir)
+	loser := openTest(t, dir)
+	loser.ClaimWait = 0
+
+	_, commitW := winner.Acquire("k")
+	payload, commitL := loser.Acquire("k")
+	if payload != nil {
+		t.Fatal("loser hit before anything was published")
+	}
+	if err := commitL([]byte("loser's result")); err != nil {
+		t.Fatal(err)
+	}
+	commitW(nil)
+	got, c := loser.Acquire("k")
+	c(nil)
+	if !bytes.Equal(got, []byte("loser's result")) {
+		t.Fatalf("published entry is %q", got)
+	}
+}
+
+func TestStoreReject(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	_, commit := s.Acquire("k")
+	commit([]byte("colliding payload"))
+	p, c := s.Acquire("k")
+	if p == nil {
+		t.Fatal("expected a hit")
+	}
+	s.Reject("k")
+	c(nil)
+	if s.Contains("k") {
+		t.Fatal("rejected entry still published")
+	}
+	if h, m := s.Hits(), s.Misses(); h != 0 || m != 2 {
+		t.Fatalf("hits=%d misses=%d after Reject, want 0/2", h, m)
+	}
+}
+
+func TestStoreGCAndSizeCap(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	var size int64
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("k%d", i)
+		_, commit := s.Acquire(key)
+		if err := commit(bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if fi, err := os.Stat(s.Path(key)); err == nil && size == 0 {
+			size = fi.Size()
+		}
+		// Space mtimes out so LRU order is deterministic even on
+		// coarse-grained filesystems.
+		old := time.Now().Add(time.Duration(i-10) * time.Second)
+		if err := os.Chtimes(s.Path(key), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 (the oldest) via a hit: it must survive the GC that
+	// evicts by recency.
+	_, c := s.Acquire("k0")
+	c(nil)
+
+	removed, freed, err := s.GC(3 * size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 || freed != 3*size {
+		t.Fatalf("GC removed %d entries (%d bytes), want 3 (%d)", removed, freed, 3*size)
+	}
+	if !s.Contains("k0") {
+		t.Fatal("LRU-refreshed entry was evicted")
+	}
+	for _, key := range []string{"k1", "k2", "k3"} {
+		if s.Contains(key) {
+			t.Fatalf("%s survived GC, expected eviction (oldest-first)", key)
+		}
+	}
+	if s.Evictions() != 3 {
+		t.Fatalf("evictions=%d, want 3", s.Evictions())
+	}
+
+	// The write-path cap: committing with a cap set evicts to fit.
+	s.SetMaxBytes(2 * size)
+	_, commit := s.Acquire("fresh")
+	if err := commit(bytes.Repeat([]byte{9}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	entries, total, err := s.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total > 2*size || entries != 2 {
+		t.Fatalf("after capped commit: %d entries, %d bytes (cap %d)", entries, total, 2*size)
+	}
+	if !s.Contains("fresh") {
+		t.Fatal("the just-committed entry must survive its own cap enforcement")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"0", 0, true},
+		{"1234", 1234, true},
+		{"4K", 4096, true},
+		{"4k", 4096, true},
+		{"2M", 2 << 20, true},
+		{"3G", 3 << 30, true},
+		{"-1", 0, false},
+		{"12Q", 0, false},
+		{"M", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseSize(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
