@@ -27,10 +27,11 @@ import (
 )
 
 func main() {
-	// "latency" (the flight-recorder breakdown) is opt-in: it re-runs
-	// workloads with the recorder on, so 'all' excludes it to keep the
+	// "latency" (the flight-recorder breakdown) and "prefetch" (the
+	// prefetcher head-to-head) are opt-in: they re-run workloads under
+	// non-default machine settings, so 'all' excludes them to keep the
 	// default sweep identical to earlier releases.
-	exp := flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(graphmem.ExperimentIDs, ",")+",latency) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(graphmem.ExperimentIDs, ",")+",latency,prefetch) or 'all'")
 	profileName := flag.String("profile", "small", "scale profile: bench|small|full")
 	kernelsFlag := flag.String("kernels", "", "restrict to these kernels (comma separated)")
 	graphsFlag := flag.String("graphs", "", "restrict to these graphs (comma separated)")

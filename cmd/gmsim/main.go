@@ -31,6 +31,8 @@ func main() {
 	kernel := flag.String("kernel", "pr", "kernel: bc|bfs|cc|pr|tc|sssp (or triad|matvec|stencil with -graph reg)")
 	graphName := flag.String("graph", "kron", "input graph: web|road|twitter|kron|urand|friendster|reg")
 	configName := flag.String("config", "baseline", "machine configuration")
+	pfPreset := flag.String("pf", "", "prefetcher preset: none|nextline|spp|stride|imp|pickle|spp+imp (empty = config default)")
+	branchPenalty := flag.Int64("bp", 0, "branch-miss penalty in cycles on ~1/32 of records (0 = off, the default machine)")
 	profileName := flag.String("profile", "bench", "scale profile: bench|small|full")
 	warmup := flag.Int64("warmup", 0, "override warm-up instructions")
 	measure := flag.Int64("measure", 0, "override measured instructions")
@@ -142,6 +144,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gmsim: serving metrics at http://%s/metrics\n", addr)
 	}
 
+	if !graphmem.ValidPrefetchers(*pfPreset) {
+		fmt.Fprintf(os.Stderr, "gmsim: unknown -pf preset %q (want none|nextline|spp|stride|imp|pickle|spp+imp)\n", *pfPreset)
+		os.Exit(1)
+	}
+	if *branchPenalty < 0 {
+		fmt.Fprintln(os.Stderr, "gmsim: -bp must be >= 0")
+		os.Exit(1)
+	}
 	if *cores < 1 {
 		fmt.Fprintln(os.Stderr, "gmsim: -cores must be >= 1")
 		os.Exit(1)
@@ -165,6 +175,12 @@ func main() {
 			os.Exit(1)
 		}
 		cfg = cfg.WithWindows(profile.Warmup, profile.Measure)
+		if *pfPreset != "" {
+			cfg = cfg.WithPrefetchers(*pfPreset)
+		}
+		if *branchPenalty > 0 {
+			cfg = cfg.WithBranchMissPenalty(*branchPenalty)
+		}
 		cfg.CheckLevel = checkLevel
 		if *epoch > 0 {
 			cfg = cfg.WithEpochInterval(*epoch)
@@ -195,6 +211,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gmsim:", err)
 		os.Exit(1)
+	}
+	if *pfPreset != "" {
+		cfg = cfg.WithPrefetchers(*pfPreset)
+	}
+	if *branchPenalty > 0 {
+		cfg = cfg.WithBranchMissPenalty(*branchPenalty)
 	}
 	if *epoch > 0 {
 		cfg = cfg.WithEpochInterval(*epoch)

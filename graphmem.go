@@ -182,6 +182,10 @@ func ConfigByName(base Config, name string) (Config, error) {
 	return harness.ConfigByName(base, name)
 }
 
+// ValidPrefetchers reports whether preset names a known prefetcher
+// preset for Config.WithPrefetchers ("" — the default wiring — counts).
+func ValidPrefetchers(preset string) bool { return sim.ValidPrefetchers(preset) }
+
 // RelErr returns |est-ref|/|ref| (0 for 0/0, +Inf for est/0).
 func RelErr(est, ref float64) float64 { return stats.RelErr(est, ref) }
 

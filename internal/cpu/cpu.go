@@ -28,6 +28,13 @@ type Config struct {
 	ROB int
 	// ExecLatency is the completion latency of non-memory instructions.
 	ExecLatency int64
+	// BranchMissPenalty, when positive, injects a pipeline-refill stall
+	// of that many cycles on a pseudo-random ~1/32 subset of records,
+	// modeling branch mispredictions (graph traversals mispredict on
+	// data-dependent branches). Zero — the default, matching Table I,
+	// whose analytical model folds branch effects into ExecLatency —
+	// changes nothing.
+	BranchMissPenalty int64
 }
 
 // DefaultConfig returns the Table I core: 4-wide, 224-entry ROB.
@@ -37,8 +44,10 @@ func DefaultConfig() Config {
 
 // MemFunc performs a memory access issued at the given CPU cycle and
 // returns its completion time and serving level. It is provided by the
-// memory system (internal/sim).
-type MemFunc func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64) mem.Response
+// memory system (internal/sim). hint carries the value peek of the
+// record and of its traced producer, for value-aware prefetchers; it is
+// zero for stores and unannotated loads.
+type MemFunc func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64, hint mem.ValueHint) mem.Response
 
 // Core executes a stream of trace records against a memory system.
 type Core struct {
@@ -52,8 +61,14 @@ type Core struct {
 	ringSize int64
 
 	// complete times of recent *records* (memory instructions) for
-	// dependency resolution, indexed by record sequence.
+	// dependency resolution, indexed by record sequence. recPC/recVal/
+	// recHasVal shadow the same ring with each record's site PC and
+	// annotated value, so a dependent load can hand its producer's
+	// (PC, value) pair to the memory system as a prefetcher hint.
 	recComplete []int64
+	recPC       []uint64
+	recVal      []uint64
+	recHasVal   []bool
 	recRing     int64
 
 	seqInstr int64 // instructions dispatched
@@ -65,6 +80,10 @@ type Core struct {
 	Loads        int64
 	Stores       int64
 	LoadLatency  int64
+	// BranchMisses counts injected misprediction stalls (zero unless
+	// Config.BranchMissPenalty is set; not part of CoreStats — the
+	// penalty is a sensitivity knob, not a reported metric).
+	BranchMisses int64
 
 	// Tap, when non-nil, receives every demand load's issue-to-ready
 	// latency (the flight-recorder hook; see mem.Tap). internal/sim
@@ -93,6 +112,9 @@ func New(cfg Config, memFn MemFunc) *Core {
 		retire:      make([]int64, ring),
 		ringSize:    ring,
 		recComplete: make([]int64, 1<<16),
+		recPC:       make([]uint64, 1<<16),
+		recVal:      make([]uint64, 1<<16),
+		recHasVal:   make([]bool, 1<<16),
 		recRing:     1 << 16,
 	}
 	return c
@@ -185,6 +207,18 @@ func (c *Core) commit(d, comp int64) {
 // the memory instruction itself. It implements the instruction-level
 // part of trace.Sink; internal/sim wraps it with window accounting.
 func (c *Core) Access(r trace.Record) {
+	if c.cfg.BranchMissPenalty > 0 {
+		// A deterministic hash of (site PC, record sequence) selects
+		// ~1/32 of records as mispredicted branches; the refill stall
+		// floors the next dispatch. The stream is a property of the
+		// trace, not the timing, so it is identical across -j/-wj.
+		h := (r.PC ^ uint64(c.seqRec)*0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9
+		if h>>59 == 0 {
+			c.BranchMisses++
+			c.Stall(c.dispatchTime() + c.cfg.BranchMissPenalty)
+		}
+	}
+
 	// Non-memory prelude: single-cycle ops.
 	for k := uint16(0); k < r.NonMem; k++ {
 		d := c.dispatchTime()
@@ -207,27 +241,41 @@ func (c *Core) Access(r trace.Record) {
 		// c.mem calls — no separate retirement-time commit exists.
 		issued := c.dispatchTime()
 		c.commit(issued, issued+1)
-		c.mem(r.PC, r.Addr, r.Size, true, issued)
-		c.recComplete[recSeq%c.recRing] = issued + 1
+		c.mem(r.PC, r.Addr, r.Size, true, issued, mem.ValueHint{})
+		idx := recSeq % c.recRing
+		c.recComplete[idx] = issued + 1
+		c.recHasVal[idx] = false
 		return
 	}
 
 	c.Loads++
 	d := c.dispatchTime()
 	issue := d
+	hint := mem.ValueHint{Value: r.Value, HasValue: r.HasValue}
 	// A load with a traced dependency cannot issue before the
-	// producing record completed.
+	// producing record completed; if that producer was value-annotated,
+	// its (PC, value) pair rides along as a prefetcher hint.
 	if r.DepDist > 0 {
 		depSeq := recSeq - int64(r.DepDist)
 		if depSeq >= 0 && recSeq-depSeq < c.recRing {
-			if t := c.recComplete[depSeq%c.recRing]; t > issue {
+			di := depSeq % c.recRing
+			if t := c.recComplete[di]; t > issue {
 				issue = t
+			}
+			if c.recHasVal[di] {
+				hint.DepPC = c.recPC[di]
+				hint.DepValue = c.recVal[di]
+				hint.DepHasValue = true
 			}
 		}
 	}
-	resp := c.mem(r.PC, r.Addr, r.Size, false, issue)
+	resp := c.mem(r.PC, r.Addr, r.Size, false, issue, hint)
 	c.commit(d, resp.Ready)
-	c.recComplete[recSeq%c.recRing] = resp.Ready
+	idx := recSeq % c.recRing
+	c.recComplete[idx] = resp.Ready
+	c.recPC[idx] = r.PC
+	c.recVal[idx] = r.Value
+	c.recHasVal[idx] = r.HasValue
 	c.LoadLatency += resp.Ready - issue
 	if c.Tap != nil {
 		c.Tap.LoadToUse(resp.Ready - issue)

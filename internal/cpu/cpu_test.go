@@ -10,7 +10,7 @@ import (
 // fixedMem returns a MemFunc with constant latency, recording issue
 // times.
 func fixedMem(lat int64, issues *[]int64) MemFunc {
-	return func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
+	return func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64, hint mem.ValueHint) mem.Response {
 		if issues != nil {
 			*issues = append(*issues, issue)
 		}
@@ -204,5 +204,78 @@ func TestStallRaisesDispatchFloor(t *testing.T) {
 	c.Access(trace.Record{PC: 1, Addr: 12 * 64, Size: 4})
 	if got := c.DispatchCycle(); got < floor {
 		t.Fatalf("a lower Stall target rewound the clock to %d", got)
+	}
+}
+
+func TestBranchMissPenaltySlowsDispatchBoundStream(t *testing.T) {
+	// A dispatch-bound stream (cheap loads, no ROB pressure) cannot
+	// absorb refill stalls, so a large penalty must cost cycles and the
+	// selection hash must fire on roughly 1/32 of records.
+	run := func(penalty int64) (int64, int64) {
+		cfg := DefaultConfig()
+		cfg.BranchMissPenalty = penalty
+		c := New(cfg, fixedMem(2, nil))
+		for i := 0; i < 4096; i++ {
+			c.Access(trace.Record{PC: uint64(0x400000 + (i%7)*8), Addr: mem.Addr(i * 64), Size: 4, NonMem: 1})
+		}
+		return c.Cycle(), c.BranchMisses
+	}
+	base, baseMisses := run(0)
+	slow, misses := run(200)
+	if baseMisses != 0 {
+		t.Fatalf("penalty-0 run counted %d branch misses", baseMisses)
+	}
+	if misses < 4096/32/4 || misses > 4096/32*4 {
+		t.Fatalf("selection hash fired %d times over 4096 records, want ~%d", misses, 4096/32)
+	}
+	if slow <= base {
+		t.Fatalf("penalized run took %d cycles, unpenalized %d", slow, base)
+	}
+	// Each injected stall can cost at most the penalty.
+	if slow > base+misses*200+int64(4096) {
+		t.Fatalf("penalized run took %d cycles; base %d + %d misses * 200 cannot explain it", slow, base, misses)
+	}
+}
+
+func TestBranchMissSelectionIsDeterministic(t *testing.T) {
+	run := func() int64 {
+		cfg := DefaultConfig()
+		cfg.BranchMissPenalty = 14
+		c := New(cfg, fixedMem(3, nil))
+		for i := 0; i < 2048; i++ {
+			c.Access(trace.Record{PC: uint64(0x400000 + (i%5)*8), Addr: mem.Addr(i * 32), Size: 4})
+		}
+		return c.BranchMisses
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("selection differs across identical runs: %d vs %d", a, b)
+	}
+}
+
+func TestValueHintReachesMemory(t *testing.T) {
+	// An annotated load's own value rides in its hint; the next load's
+	// DepDist=1 edge must surface the producer's (PC, value) pair.
+	var hints []mem.ValueHint
+	c := New(DefaultConfig(), func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64, hint mem.ValueHint) mem.Response {
+		hints = append(hints, hint)
+		return mem.Response{Ready: issue + 2, Source: mem.ServedL1D}
+	})
+	c.Access(trace.Record{PC: 0x400010, Addr: 0x1000, Size: 4, Value: 42, HasValue: true})
+	c.Access(trace.Record{PC: 0x400020, Addr: 0x2000, Size: 8, DepDist: 1})
+	c.Access(trace.Record{PC: 0x400030, Addr: 0x3000, Size: 8, Write: true})
+	c.Access(trace.Record{PC: 0x400040, Addr: 0x4000, Size: 8, DepDist: 1})
+	if h := hints[0]; !h.HasValue || h.Value != 42 || h.DepHasValue {
+		t.Fatalf("annotated load's hint = %+v", h)
+	}
+	if h := hints[1]; !h.DepHasValue || h.DepPC != 0x400010 || h.DepValue != 42 || h.HasValue {
+		t.Fatalf("dependent load's hint = %+v, want producer (pc 0x400010, value 42)", h)
+	}
+	if h := hints[2]; h != (mem.ValueHint{}) {
+		t.Fatalf("store carried a non-zero hint %+v", h)
+	}
+	// A load depending on the store gets no value: stores clear their
+	// ring slot.
+	if h := hints[3]; h.DepHasValue {
+		t.Fatalf("store-dependent load's hint = %+v, want no producer value", h)
 	}
 }

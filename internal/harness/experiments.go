@@ -13,18 +13,20 @@ import (
 // configs) the tools used to duplicate.
 
 // ExperimentIDs lists every experiment 'all' expands to, in report
-// order. "latency" (the flight-recorder breakdown) is opt-in: it
-// re-runs workloads with the recorder on, so 'all' excludes it to keep
-// the default sweep identical to earlier releases.
+// order. "latency" (the flight-recorder breakdown) and "prefetch" (the
+// prefetcher head-to-head) are opt-in: they re-run workloads under
+// non-default machine settings, so 'all' excludes them to keep the
+// default sweep identical to earlier releases.
 var ExperimentIDs = []string{
 	"tab1", "tab2", "tab3", "tab4",
 	"fig2", "fig3", "fig7", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "tau", "fig13", "fig14", "energy",
 }
 
-// Experiment runs one experiment by id (a member of ExperimentIDs, or
-// "latency") on the workbench and returns its renderable table. A nil
-// subset means all 36 workloads.
+// Experiment runs one experiment by id (a member of ExperimentIDs,
+// "latency", or "prefetch") on the workbench and returns its renderable
+// table. A nil subset means all 36 workloads (nil picks the prefetch
+// experiment's own default subset).
 func (wb *Workbench) Experiment(id string, subset []WorkloadID) (*Table, error) {
 	switch id {
 	case "tab1":
@@ -63,6 +65,8 @@ func (wb *Workbench) Experiment(id string, subset []WorkloadID) (*Table, error) 
 		return wb.Energy(subset).Table(), nil
 	case "latency":
 		return wb.LatencyBreakdown(subset).Table(), nil
+	case "prefetch":
+		return wb.PrefetchHeadToHead(subset).Table(), nil
 	case "fig14":
 		var mixes [][]WorkloadID
 		if subset != nil {

@@ -100,6 +100,16 @@ func memoKey(cfg sim.Config, id WorkloadID) string {
 			k += "|mw"
 		}
 	}
+	// Prefetcher preset and branch-miss penalty are swept axes that do
+	// not rename the config; they key only when set, so every
+	// default-config key (and with it every existing store address)
+	// stays byte-identical.
+	if cfg.Prefetchers != "" {
+		k += "|pf" + cfg.Prefetchers
+	}
+	if cfg.BranchMissPenalty > 0 {
+		k += "|bp" + strconv.FormatInt(cfg.BranchMissPenalty, 10)
+	}
 	return k
 }
 

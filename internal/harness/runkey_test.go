@@ -36,6 +36,14 @@ func TestMemoKeysUnchanged(t *testing.T) {
 		{"bound-weave", bw, "Baseline|pr.kron|bw1024"},
 		{"sampled+miswarm", sp, "Baseline|pr.kron|sp100/10/5/2|mw"},
 		{"sampled", spNoMW, "Baseline|pr.kron|sp100/10/5/2"},
+		// Prefetcher presets and the branch-penalty knob key without
+		// renaming the config; the default ("", 0) adds nothing, keeping
+		// every pre-existing memo and store address byte-identical.
+		{"prefetch preset", base.WithPrefetchers("imp"), "Baseline|pr.kron|pfimp"},
+		{"prefetch combined", base.WithSDCLP().WithPrefetchers("spp+imp"), "SDC+LP|pr.kron|pfspp+imp"},
+		{"branch penalty", base.WithBranchMissPenalty(14), "Baseline|pr.kron|bp14"},
+		{"preset+penalty", base.WithPrefetchers("stride").WithBranchMissPenalty(7), "Baseline|pr.kron|pfstride|bp7"},
+		{"default preset is unkeyed", base.WithPrefetchers("").WithBranchMissPenalty(0), "Baseline|pr.kron"},
 	}
 	for _, tc := range cases {
 		if got := memoKey(tc.cfg, id); got != tc.want {

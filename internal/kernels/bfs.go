@@ -169,7 +169,8 @@ func (b *BFS) runOne(tr *trace.Tracer, src int32, edgesDone *uint64,
 			tr.Exec(3)
 			lo, hi := g.OA[u], g.OA[u+1]
 			for i := lo; i < hi; i++ {
-				naSeq := na.load(pcNA, i, oaSeq)
+				// Value-annotated: IMP learns the parent[NA[i]] probe.
+				naSeq := na.loadv(pcNA, i, oaSeq, uint64(g.NA[i]))
 				v := g.NA[i]
 				parent.load(pcProbe, int64(v), naSeq)
 				tr.Exec(2)

@@ -86,7 +86,8 @@ func (c *CC) Run(tr *trace.Tracer) {
 			lo, hi := g.OA[u], g.OA[u+1]
 			cuSeq := comp.load(pcCompU, u, trace.NoDep)
 			for i := lo; i < hi; i++ {
-				naSeq := na.load(pcNA, i, trace.NoDep)
+				// Value-annotated: IMP learns the comp[NA[i]] gather.
+				naSeq := na.loadv(pcNA, i, trace.NoDep, uint64(g.NA[i]))
 				v := int64(g.NA[i])
 				comp.load(pcCompV, v, naSeq)
 				tr.Exec(2)

@@ -83,6 +83,12 @@ func (a traced) load(pc uint64, i int64, dep int64) int64 {
 	return a.tr.Load(pc, a.reg.ElemAddr(i), int(a.reg.ElemSize), dep)
 }
 
+// loadv emits a read of element i annotated with the value the load
+// returns (index loads feeding gathers; see trace.Tracer.LoadValue).
+func (a traced) loadv(pc uint64, i int64, dep int64, value uint64) int64 {
+	return a.tr.LoadValue(pc, a.reg.ElemAddr(i), int(a.reg.ElemSize), dep, value)
+}
+
 // store emits a write of element i and returns its sequence number.
 func (a traced) store(pc uint64, i int64, dep int64) int64 {
 	return a.tr.Store(pc, a.reg.ElemAddr(i), int(a.reg.ElemSize), dep)

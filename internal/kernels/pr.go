@@ -127,7 +127,8 @@ func (p *PR) Run(tr *trace.Tracer) {
 			sum := 0.0
 			lo, hi := g.OA[u], g.OA[u+1]
 			for i := lo; i < hi; i++ {
-				naSeq := na.load(pcNA, i, trace.NoDep)
+				// Value-annotated: IMP learns the contrib[NA[i]] gather.
+				naSeq := na.loadv(pcNA, i, trace.NoDep, uint64(g.NA[i]))
 				v := int64(g.NA[i])
 				contrib.load(pcGather, v, naSeq)
 				sum += p.contrib[v]

@@ -133,7 +133,8 @@ func (s *SSSP) Run(tr *trace.Tracer) {
 					oaSeq := oa.load(pcOA, int64(u)+1, duSeq)
 					lo, hi := g.OA[u], g.OA[u+1]
 					for i := lo; i < hi; i++ {
-						naSeq := na.load(pcNA, i, oaSeq)
+						// Value-annotated: IMP learns the dist[NA[i]] relax.
+						naSeq := na.loadv(pcNA, i, oaSeq, uint64(g.NA[i]))
 						wt.load(pcW, i, trace.NoDep)
 						v := g.NA[i]
 						w := int64(g.W[i])

@@ -159,3 +159,43 @@ type Response struct {
 
 // Latency returns the request latency in cycles given its issue time.
 func (r Response) Latency(issue int64) int64 { return r.Ready - issue }
+
+// ValueHint is the loaded-value peek an indirect-memory prefetcher needs
+// to learn base+shift patterns from `prop[col[i]]` index-then-gather
+// pairs. The simulator is address-only, so kernels opt in per site: a
+// load annotated with its architectural value sets Value/HasValue, and a
+// load that depends on an annotated producer carries the producer's PC
+// and value in the Dep* fields.
+type ValueHint struct {
+	// Value is the architectural value the load returns, when the
+	// trace site annotates it (index loads into an edge array).
+	Value uint64
+	// HasValue reports whether Value is meaningful.
+	HasValue bool
+	// DepPC is the PC of the producing load this access depends on,
+	// when that producer was value-annotated.
+	DepPC uint64
+	// DepValue is the producer's loaded value.
+	DepValue uint64
+	// DepHasValue reports whether DepPC/DepValue are meaningful.
+	DepHasValue bool
+}
+
+// AccessInfo describes a demand access as seen by a prefetcher:
+// the block plus optional context (PC, hit/miss at the attached level,
+// requesting core, and the value peek). Zero-valued context fields mean
+// "unknown" — functional warming, for example, has no PC to offer.
+type AccessInfo struct {
+	// PC is the trace-site program counter, or 0 when unavailable.
+	PC uint64
+	// Addr is the full byte address of the access.
+	Addr Addr
+	// Blk is the accessed block.
+	Blk BlockAddr
+	// Hit says whether the access hit the attached cache.
+	Hit bool
+	// Core is the requesting core (meaningful for shared-level
+	// prefetchers observing multiple cores).
+	Core int
+	ValueHint
+}

@@ -1,0 +1,224 @@
+package prefetch
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// pcAt builds the PC-carrying AccessInfo the L2 hook passes to Stride.
+func pcAt(pc uint64, blk mem.BlockAddr) mem.AccessInfo {
+	return mem.AccessInfo{PC: pc, Addr: blk.Addr(), Blk: blk}
+}
+
+// gather builds the value-annotated gather observation IMP learns from:
+// an access at gatherPC whose address was produced by the index load at
+// depPC loading depValue.
+func gather(gatherPC uint64, addr mem.Addr, depPC, depValue uint64) mem.AccessInfo {
+	return mem.AccessInfo{
+		PC: gatherPC, Addr: addr, Blk: addr.Block(),
+		ValueHint: mem.ValueHint{DepPC: depPC, DepValue: depValue, DepHasValue: true},
+	}
+}
+
+// indexLoad builds the value-annotated index load IMP issues on.
+func indexLoad(pc uint64, addr mem.Addr, value uint64) mem.AccessInfo {
+	return mem.AccessInfo{
+		PC: pc, Addr: addr, Blk: addr.Block(),
+		ValueHint: mem.ValueHint{Value: value, HasValue: true},
+	}
+}
+
+func TestStrideLearnsAndIssues(t *testing.T) {
+	s := NewStride()
+	const pc = 0x4100
+	buf := s.OnAccess(pcAt(pc, 10), nil)
+	buf = s.OnAccess(pcAt(pc, 12), buf) // stride 2, conf 1: below threshold
+	if len(buf) != 0 {
+		t.Fatalf("issued %v before the stride was confirmed", buf)
+	}
+	buf = s.OnAccess(pcAt(pc, 14), buf) // conf 2: issue degree-many
+	want := []mem.BlockAddr{16, 18, 20, 22}
+	if len(buf) != len(want) {
+		t.Fatalf("got %v, want %v", buf, want)
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("got %v, want %v", buf, want)
+		}
+	}
+	if s.Issued != int64(len(want)) {
+		t.Fatalf("Issued = %d, want %d", s.Issued, len(want))
+	}
+}
+
+func TestStrideIgnoresZeroPC(t *testing.T) {
+	s := NewStride()
+	var buf []mem.BlockAddr
+	for blk := mem.BlockAddr(0); blk < 20; blk += 2 {
+		buf = s.OnAccess(pcAt(0, blk), buf)
+	}
+	if len(buf) != 0 {
+		t.Fatalf("PC-less accesses issued %v", buf)
+	}
+}
+
+func TestStrideStopsAtPageBoundary(t *testing.T) {
+	s := NewStride()
+	const pc = 0x4100
+	last := mem.BlockAddr(blocksPerPage - 2)
+	var buf []mem.BlockAddr
+	for _, blk := range []mem.BlockAddr{last - 4, last - 2, last} {
+		buf = s.OnAccess(pcAt(pc, blk), buf[:0])
+	}
+	// Confirmed stride 2 at the page's penultimate block: every candidate
+	// would land in the next page.
+	if len(buf) != 0 {
+		t.Fatalf("issued %v across a page boundary", buf)
+	}
+}
+
+func TestStrideSeparateSitesSeparateStrides(t *testing.T) {
+	s := NewStride()
+	const pcA, pcB = 0x4100, 0x4200 // distinct table slots
+	var buf []mem.BlockAddr
+	for i := mem.BlockAddr(0); i < 3; i++ {
+		buf = s.OnAccess(pcAt(pcA, i*2), buf[:0])
+		buf2 := s.OnAccess(pcAt(pcB, 1000+i*3), nil)
+		if i == 2 {
+			if len(buf) == 0 || buf[0] != 6 {
+				t.Fatalf("site A: got %v, want first candidate 6", buf)
+			}
+			if len(buf2) == 0 || buf2[0] != 1009 {
+				t.Fatalf("site B: got %v, want first candidate 1009", buf2)
+			}
+		}
+	}
+}
+
+func TestIMPLearnsGatherMapping(t *testing.T) {
+	p := NewIMP()
+	const (
+		gatherPC = 0x5100
+		indexPC  = 0x5200
+		base     = 0x40000
+	)
+	// Two consecutive gather observations solve shift (4-byte elements)
+	// and base; the third confirms (conf 2 = issue threshold).
+	var buf []mem.BlockAddr
+	for _, v := range []uint64{5, 9, 13} {
+		buf = p.OnAccess(gather(gatherPC, mem.Addr(base+v*4), indexPC, v), buf[:0])
+	}
+	if len(buf) != 0 {
+		t.Fatalf("gather observations issued %v; only index loads should", buf)
+	}
+	// Index load of value 100: the gather's future address is base+100*4.
+	buf = p.OnAccess(indexLoad(indexPC, 0x9000, 100), nil)
+	want := mem.Addr(base + 100*4).Block()
+	if len(buf) != 1 || buf[0] != want {
+		t.Fatalf("got %v, want [%v]", buf, want)
+	}
+	if p.Issued != 1 {
+		t.Fatalf("Issued = %d, want 1", p.Issued)
+	}
+}
+
+func TestIMPLearns8ByteElements(t *testing.T) {
+	p := NewIMP()
+	const gatherPC, indexPC, base = 0x5100, 0x5200, 0x80000
+	for _, v := range []uint64{3, 10, 4} {
+		p.OnAccess(gather(gatherPC, mem.Addr(base+v*8), indexPC, v), nil)
+	}
+	buf := p.OnAccess(indexLoad(indexPC, 0x9000, 77), nil)
+	want := mem.Addr(base + 77*8).Block()
+	if len(buf) != 1 || buf[0] != want {
+		t.Fatalf("got %v, want [%v]", buf, want)
+	}
+}
+
+func TestIMPQuietOnUnrelatedIndexSite(t *testing.T) {
+	p := NewIMP()
+	const gatherPC, indexPC, base = 0x5100, 0x5200, 0x40000
+	for _, v := range []uint64{5, 9, 13} {
+		p.OnAccess(gather(gatherPC, mem.Addr(base+v*4), indexPC, v), nil)
+	}
+	if buf := p.OnAccess(indexLoad(0x7777, 0x9000, 100), nil); len(buf) != 0 {
+		t.Fatalf("unrelated index site issued %v", buf)
+	}
+}
+
+func TestIMPQuietOnNonLinearGathers(t *testing.T) {
+	p := NewIMP()
+	const gatherPC, indexPC = 0x5100, 0x5200
+	// Addresses unrelated to the index values: no element-size quotient.
+	addrs := []mem.Addr{0x1000, 0x5303, 0x2101, 0x7907}
+	for i, v := range []uint64{5, 9, 13, 21} {
+		p.OnAccess(gather(gatherPC, addrs[i], indexPC, v), nil)
+	}
+	if buf := p.OnAccess(indexLoad(indexPC, 0x9000, 100), nil); len(buf) != 0 {
+		t.Fatalf("non-linear gather stream issued %v", buf)
+	}
+}
+
+func TestPickleLearnsPageDeltas(t *testing.T) {
+	p := NewPickle()
+	var buf []mem.BlockAddr
+	// Misses at page offsets 0,2,4,6,8: delta 2 reaches conf 3 at
+	// offset 6 and issues from there on.
+	for off := mem.BlockAddr(0); off <= 4; off += 2 {
+		buf = p.OnAccess(at(off), buf[:0])
+		if len(buf) != 0 {
+			t.Fatalf("offset %d: issued %v below confidence", off, buf)
+		}
+	}
+	buf = p.OnAccess(at(6), nil)
+	if len(buf) != 1 || buf[0] != 8 {
+		t.Fatalf("got %v, want [8]", buf)
+	}
+	buf = p.OnAccess(at(8), nil)
+	if len(buf) != 1 || buf[0] != 10 {
+		t.Fatalf("got %v, want [10]", buf)
+	}
+}
+
+func TestPickleCrossCoreSharing(t *testing.T) {
+	p := NewPickle()
+	// Core 0 trains the page's delta pattern...
+	for off := mem.BlockAddr(0); off <= 6; off += 2 {
+		p.OnAccess(mem.AccessInfo{Blk: off, Core: 0}, nil)
+	}
+	// ...and a first-touch miss from core 1 on the same page prefetches.
+	buf := p.OnAccess(mem.AccessInfo{Blk: 10, Core: 1}, nil)
+	if len(buf) != 1 || buf[0] != 12 {
+		t.Fatalf("core 1 got %v, want [12] from core 0's training", buf)
+	}
+}
+
+func TestPickleStopsAtPageBoundary(t *testing.T) {
+	p := NewPickle()
+	var buf []mem.BlockAddr
+	for off := mem.BlockAddr(blocksPerPage - 10); off < mem.BlockAddr(blocksPerPage); off += 2 {
+		buf = p.OnAccess(at(off), buf[:0])
+	}
+	// The last access sits at the final block: offset+2 leaves the page.
+	if len(buf) != 0 {
+		t.Fatalf("issued %v across a page boundary", buf)
+	}
+}
+
+func TestPickleRandomStreamIsQuiet(t *testing.T) {
+	p := NewPickle()
+	// A pseudo-random miss stream over many pages never confirms a delta
+	// three times, so Pickle stays silent ("precise" prefetching).
+	x := uint64(0x243F6A8885A308D3)
+	var buf []mem.BlockAddr
+	for i := 0; i < 4096; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		buf = p.OnAccess(at(mem.BlockAddr(x%(1<<24))), buf)
+	}
+	if float64(len(buf)) > 40 {
+		t.Fatalf("random stream issued %d candidates", len(buf))
+	}
+}

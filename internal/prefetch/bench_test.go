@@ -1,0 +1,121 @@
+package prefetch
+
+import (
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// benchStream synthesizes a deterministic access stream mixing strided
+// walks over a few pages with pseudo-random gathers — roughly the shape
+// of a graph kernel's L2 miss stream — so the prefetcher benchmarks
+// exercise both the learn and the issue paths.
+func benchStream(n int) []mem.AccessInfo {
+	ais := make([]mem.AccessInfo, n)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range ais {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		var blk mem.BlockAddr
+		if i%4 != 3 {
+			// Strided walk: a few interleaved streams.
+			blk = mem.BlockAddr(uint64(i%4)<<20 + uint64(i/4)*2)
+		} else {
+			blk = mem.BlockAddr(x % (1 << 24))
+		}
+		ais[i] = mem.AccessInfo{
+			PC:   0x400000 + uint64(i%8)*8,
+			Addr: blk.Addr(),
+			Blk:  blk,
+		}
+	}
+	return ais
+}
+
+// benchIMPStream synthesizes alternating index-load/gather pairs (the
+// value-annotated records cc/pr emit), hitting both learn and issue.
+func benchIMPStream(n int) []mem.AccessInfo {
+	ais := make([]mem.AccessInfo, n)
+	const base = 1 << 30
+	x := uint64(0x243F6A8885A308D3)
+	for i := 0; i < n-1; i += 2 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v := x % (1 << 20)
+		idxAddr := mem.Addr(1<<28 + uint64(i)*4)
+		ais[i] = mem.AccessInfo{
+			PC: 0x400010, Addr: idxAddr, Blk: idxAddr.Block(),
+			ValueHint: mem.ValueHint{Value: v, HasValue: true},
+		}
+		gAddr := mem.Addr(base + v*8)
+		ais[i+1] = mem.AccessInfo{
+			PC: 0x400020, Addr: gAddr, Blk: gAddr.Block(),
+			ValueHint: mem.ValueHint{DepPC: 0x400010, DepValue: v, DepHasValue: true},
+		}
+	}
+	return ais
+}
+
+// benchOnAccess replays a stream through p with the caller-owned
+// candidate buffer the hierarchy uses, pinning the zero-alloc contract.
+func benchOnAccess(b *testing.B, p Prefetcher, ais []mem.AccessInfo) {
+	b.Helper()
+	buf := make([]mem.BlockAddr, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = p.OnAccess(ais[i%len(ais)], buf[:0])
+	}
+	_ = buf
+}
+
+func BenchmarkSPPOnAccess(b *testing.B) {
+	benchOnAccess(b, NewSPP(), benchStream(1<<14))
+}
+
+func BenchmarkStrideOnAccess(b *testing.B) {
+	benchOnAccess(b, NewStride(), benchStream(1<<14))
+}
+
+func BenchmarkIMPOnAccess(b *testing.B) {
+	benchOnAccess(b, NewIMP(), benchIMPStream(1<<14))
+}
+
+func BenchmarkPickleOnAccess(b *testing.B) {
+	benchOnAccess(b, NewPickle(), benchStream(1<<14))
+}
+
+func BenchmarkNextLineOnAccess(b *testing.B) {
+	benchOnAccess(b, NextLine{}, benchStream(1<<14))
+}
+
+// TestOnAccessZeroAllocs pins every prefetcher's hot path at zero
+// allocations per access with a reused candidate buffer.
+func TestOnAccessZeroAllocs(t *testing.T) {
+	stream := benchStream(1 << 12)
+	impStream := benchIMPStream(1 << 12)
+	cases := []struct {
+		name string
+		p    Prefetcher
+		ais  []mem.AccessInfo
+	}{
+		{"spp", NewSPP(), stream},
+		{"stride", NewStride(), stream},
+		{"imp", NewIMP(), impStream},
+		{"pickle", NewPickle(), stream},
+		{"nextline", NextLine{}, stream},
+	}
+	for _, tc := range cases {
+		buf := make([]mem.BlockAddr, 0, 64)
+		i := 0
+		avg := testing.AllocsPerRun(len(tc.ais), func() {
+			buf = tc.p.OnAccess(tc.ais[i%len(tc.ais)], buf[:0])
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%s: %.2f allocs per OnAccess, want 0", tc.name, avg)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package prefetch
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"graphmem/internal/mem"
+)
+
+// refIMP is the naive reference model of IMP's contract: a 16-entry
+// direct-mapped association table, a linear gatherAddr = base +
+// (value << shift) mapping solved from consecutive observations, and
+// issue at confidence 2. It is written for clarity, not speed; any
+// divergence from the table implementation is a bug in one of them.
+type refIMP struct {
+	ent [impEntries]struct {
+		gatherPC, indexPC uint64
+		lastAddr, lastVal uint64
+		base              uint64
+		shift             uint8
+		conf              int
+		hasPattern, inUse bool
+	}
+}
+
+func (r *refIMP) onAccess(ai mem.AccessInfo) []mem.BlockAddr {
+	if ai.DepHasValue {
+		e := &r.ent[(ai.PC>>3)%impEntries]
+		if !e.inUse || e.gatherPC != ai.PC {
+			*e = struct {
+				gatherPC, indexPC uint64
+				lastAddr, lastVal uint64
+				base              uint64
+				shift             uint8
+				conf              int
+				hasPattern, inUse bool
+			}{gatherPC: ai.PC, indexPC: ai.DepPC, lastAddr: uint64(ai.Addr), lastVal: ai.DepValue, inUse: true}
+		} else {
+			e.indexPC = ai.DepPC
+			da := int64(uint64(ai.Addr)) - int64(e.lastAddr)
+			dv := int64(ai.DepValue) - int64(e.lastVal)
+			if dv != 0 && da%dv == 0 {
+				var shift uint8
+				found := true
+				switch da / dv {
+				case 1:
+					shift = 0
+				case 2:
+					shift = 1
+				case 4:
+					shift = 2
+				case 8:
+					shift = 3
+				default:
+					found = false
+				}
+				if found {
+					base := uint64(ai.Addr) - ai.DepValue<<shift
+					if e.hasPattern && e.base == base && e.shift == shift {
+						if e.conf < impConfMax {
+							e.conf++
+						}
+					} else {
+						e.base, e.shift, e.hasPattern, e.conf = base, shift, true, 1
+					}
+				}
+			}
+			e.lastAddr, e.lastVal = uint64(ai.Addr), ai.DepValue
+		}
+	}
+	var out []mem.BlockAddr
+	if ai.HasValue {
+		for i := range r.ent {
+			e := &r.ent[i]
+			if e.inUse && e.hasPattern && e.conf >= impIssueConf && e.indexPC == ai.PC {
+				out = append(out, mem.Addr(e.base+ai.Value<<e.shift).Block())
+			}
+		}
+	}
+	return out
+}
+
+// FuzzIMP drives IMP with an arbitrary interleaving of value-annotated
+// gather observations and index loads over a handful of aliasing sites,
+// against the reference model. The candidate list must match exactly at
+// every step.
+func FuzzIMP(f *testing.F) {
+	// A clean 4-byte gather pattern followed by an index load.
+	f.Add([]byte{
+		0x02, 1, 2, 0x00, 0x00, 0x04, 0x00, 5, 0, 0, 0,
+		0x02, 1, 2, 0x10, 0x00, 0x04, 0x00, 9, 0, 0, 0,
+		0x02, 1, 2, 0x20, 0x00, 0x04, 0x00, 13, 0, 0, 0,
+		0x01, 2, 1, 0x00, 0x90, 0x00, 0x00, 100, 0, 0, 0,
+	})
+	// Aliasing sites and a non-linear stream.
+	f.Add([]byte{
+		0x02, 7, 7, 0x34, 0x12, 0x00, 0x00, 3, 0, 0, 0,
+		0x03, 23, 7, 0x01, 0x53, 0x00, 0x00, 9, 0, 0, 0,
+		0x02, 7, 23, 0x99, 0x21, 0x00, 0x00, 4, 0, 0, 0,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		imp := NewIMP()
+		ref := &refIMP{}
+		for i := 0; i+11 <= len(data); i += 11 {
+			ev := data[i : i+11]
+			ai := mem.AccessInfo{
+				PC:   0x1000 + uint64(ev[1])*8,
+				Addr: mem.Addr(binary.LittleEndian.Uint32(ev[3:7])),
+			}
+			ai.Blk = ai.Addr.Block()
+			val := uint64(binary.LittleEndian.Uint32(ev[7:11]))
+			if ev[0]&1 != 0 {
+				ai.Value, ai.HasValue = val, true
+			}
+			if ev[0]&2 != 0 {
+				ai.DepPC = 0x1000 + uint64(ev[2])*8
+				ai.DepValue, ai.DepHasValue = val^0x55AA, true
+			}
+			got := imp.OnAccess(ai, nil)
+			want := ref.onAccess(ai)
+			if len(got) != len(want) {
+				t.Fatalf("event %d (%+v): got %v, reference says %v", i/11, ai, got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("event %d (%+v): got %v, reference says %v", i/11, ai, got, want)
+				}
+			}
+		}
+	})
+}
+
+// refPickle is the naive reference model of Pickle's contract: a
+// 256-slot direct-mapped page table of 4 delta ways, confidence-3
+// issue, degree 2, page-bounded.
+type refPickle struct {
+	slot [pickleEntries]struct {
+		page    mem.PageAddr
+		lastOff int
+		inUse   bool
+		deltas  [pickleWays]struct {
+			delta int
+			conf  int
+		}
+	}
+}
+
+func (r *refPickle) onAccess(blk mem.BlockAddr) []mem.BlockAddr {
+	page := blk.Page()
+	off := int(uint64(blk) % blocksPerPage)
+	e := &r.slot[uint64(page)%pickleEntries]
+	if !e.inUse || e.page != page {
+		e.page, e.lastOff, e.inUse = page, off, true
+		e.deltas = [pickleWays]struct {
+			delta int
+			conf  int
+		}{}
+		return nil
+	}
+	delta := off - e.lastOff
+	if delta == 0 {
+		return nil
+	}
+	// Learn: bump a matching way, else replace the first weakest way.
+	learned := false
+	for i := range e.deltas {
+		if e.deltas[i].conf > 0 && e.deltas[i].delta == delta {
+			if e.deltas[i].conf < pickleConfMax {
+				e.deltas[i].conf++
+			}
+			learned = true
+			break
+		}
+	}
+	if !learned {
+		weakest := 0
+		for i := 1; i < pickleWays; i++ {
+			if e.deltas[i].conf < e.deltas[weakest].conf {
+				weakest = i
+			}
+		}
+		e.deltas[weakest].delta, e.deltas[weakest].conf = delta, 1
+	}
+	e.lastOff = off
+	var out []mem.BlockAddr
+	for i := range e.deltas {
+		if len(out) >= pickleDegree {
+			break
+		}
+		if e.deltas[i].conf < pickleIssueConf {
+			continue
+		}
+		next := off + e.deltas[i].delta
+		if next < 0 || next >= int(blocksPerPage) {
+			continue
+		}
+		out = append(out, mem.BlockAddr(uint64(page)*blocksPerPage+uint64(next)))
+	}
+	return out
+}
+
+// FuzzPickle drives Pickle with an arbitrary cross-core LLC miss stream
+// against the reference model; the candidate list must match exactly at
+// every step (Pickle deliberately ignores the core — the shared table
+// is the design — so the reference takes only the block).
+func FuzzPickle(f *testing.F) {
+	// A steady delta-2 walk that crosses the issue threshold.
+	f.Add([]byte{
+		0, 0, 0, 0, 0,
+		2, 0, 0, 0, 1,
+		4, 0, 0, 0, 0,
+		6, 0, 0, 0, 2,
+		8, 0, 0, 0, 3,
+	})
+	// Page-aliasing stream (slots collide at page%256).
+	f.Add([]byte{
+		0x10, 0, 0, 0, 0,
+		0x10, 0, 1, 0, 1,
+		0x12, 0, 0, 0, 0,
+		0x12, 0, 1, 0, 1,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pk := NewPickle()
+		ref := &refPickle{}
+		for i := 0; i+5 <= len(data); i += 5 {
+			ev := data[i : i+5]
+			blk := mem.BlockAddr(binary.LittleEndian.Uint32(ev[0:4]) % (1 << 20))
+			ai := mem.AccessInfo{Blk: blk, Addr: blk.Addr(), Core: int(ev[4] % 4)}
+			got := pk.OnAccess(ai, nil)
+			want := ref.onAccess(blk)
+			if len(got) != len(want) {
+				t.Fatalf("event %d (blk %d): got %v, reference says %v", i/5, blk, got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("event %d (blk %d): got %v, reference says %v", i/5, blk, got, want)
+				}
+			}
+		}
+	})
+}

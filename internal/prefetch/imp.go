@@ -1,0 +1,121 @@
+package prefetch
+
+import (
+	"graphmem/internal/mem"
+)
+
+// IMP parameters: a small association table (indirect patterns per
+// kernel number a handful of static pairs), two confirmations of a
+// learned base+shift before issuing.
+const (
+	impEntries   = 16
+	impIssueConf = 2
+	impConfMax   = 15
+)
+
+type impEntry struct {
+	// The gather site being learned and the index-load site feeding it.
+	gatherPC uint64
+	indexPC  uint64
+	// Last observed (index value, gather address) pair, for solving the
+	// linear mapping from consecutive observations.
+	lastAddr  mem.Addr
+	lastValue uint64
+	// Learned mapping gatherAddr = base + (value << shift).
+	base   uint64
+	shift  uint8
+	conf   uint8
+	hasPat bool
+	valid  bool
+}
+
+// IMP is an IMP/DROPLET-style indirect-memory prefetcher for the
+// `prop[col[i]]` idiom of graph kernels. It learns from two streams the
+// trace layer exposes: gather accesses carrying their producer's
+// (PC, value) pair — consecutive observations solve the element shift
+// from the address/value deltas and pin the base — and index loads
+// carrying their own loaded value, at which point the learned mapping
+// turns the just-loaded index into the gather's future address.
+//
+// Modeling note: real IMP runs ahead of the index stream by snooping
+// index blocks; here the gather prefetch fires at the index load's
+// *issue* point instead, which hides the dependent-load serialization
+// (the quantity IMP targets) without modeling a separate run-ahead
+// stream. See DESIGN.md.
+type IMP struct {
+	entries [impEntries]impEntry
+	// Issued counts candidates generated (for stats/tests).
+	Issued int64
+}
+
+// NewIMP returns an empty prefetcher.
+func NewIMP() *IMP { return &IMP{} }
+
+// Name implements Prefetcher.
+func (p *IMP) Name() string { return "imp" }
+
+// OnAccess implements Prefetcher. It observes every demand load; only
+// value-annotated records (and their dependents) do any work.
+func (p *IMP) OnAccess(ai mem.AccessInfo, buf []mem.BlockAddr) []mem.BlockAddr {
+	if ai.DepHasValue {
+		p.learn(ai)
+	}
+	if ai.HasValue {
+		buf = p.issue(ai, buf)
+	}
+	return buf
+}
+
+// learn observes a gather access whose address came from a
+// value-annotated producer and updates the linear mapping for its site.
+func (p *IMP) learn(ai mem.AccessInfo) {
+	e := &p.entries[(ai.PC>>3)%impEntries]
+	if !e.valid || e.gatherPC != ai.PC {
+		*e = impEntry{gatherPC: ai.PC, indexPC: ai.DepPC, lastAddr: ai.Addr, lastValue: ai.DepValue, valid: true}
+		return
+	}
+	e.indexPC = ai.DepPC
+	da := int64(ai.Addr) - int64(e.lastAddr)
+	dv := int64(ai.DepValue) - int64(e.lastValue)
+	if dv != 0 && da%dv == 0 {
+		var shift uint8
+		ok := true
+		switch da / dv {
+		case 1:
+			shift = 0
+		case 2:
+			shift = 1
+		case 4:
+			shift = 2
+		case 8:
+			shift = 3
+		default:
+			ok = false // not an element-size scaling
+		}
+		if ok {
+			base := uint64(ai.Addr) - ai.DepValue<<shift
+			if e.hasPat && e.base == base && e.shift == shift {
+				if e.conf < impConfMax {
+					e.conf++
+				}
+			} else {
+				e.base, e.shift, e.hasPat, e.conf = base, shift, true, 1
+			}
+		}
+	}
+	e.lastAddr = ai.Addr
+	e.lastValue = ai.DepValue
+}
+
+// issue fires on an index load: every confident mapping fed by this
+// site yields the gather block for the just-loaded value.
+func (p *IMP) issue(ai mem.AccessInfo, buf []mem.BlockAddr) []mem.BlockAddr {
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.hasPat && e.conf >= impIssueConf && e.indexPC == ai.PC {
+			buf = append(buf, mem.Addr(e.base+ai.Value<<e.shift).Block())
+			p.Issued++
+		}
+	}
+	return buf
+}

@@ -1,0 +1,109 @@
+package prefetch
+
+import (
+	"graphmem/internal/mem"
+)
+
+// Pickle parameters: one shared page-keyed table for all cores, a few
+// delta ways per page, and a confidence threshold high enough that only
+// repeatedly-seen deltas are fetched into the shared LLC ("precise"
+// prefetching — the LLC is contended, so speculative fills are kept
+// rare).
+const (
+	pickleEntries   = 256
+	pickleWays      = 4
+	pickleConfMax   = 15
+	pickleIssueConf = 3
+	pickleDegree    = 2
+)
+
+type pickleDelta struct {
+	delta int16
+	conf  uint8
+}
+
+type pickleEntry struct {
+	page    mem.PageAddr
+	lastBlk int16 // block offset within page
+	valid   bool
+	deltas  [pickleWays]pickleDelta
+}
+
+// Pickle is a Pickle-style cross-core LLC prefetcher: it sits at the
+// shared LLC and observes demand misses from every core, correlating
+// block deltas per page (the miss stream at the LLC has no useful PC —
+// it is filtered by two private levels — so pages are the locality
+// unit). Deltas confirmed pickleIssueConf times issue up to
+// pickleDegree precise prefetches into the shared level, tagged with
+// the requesting core by the caller. All cores share the table, which
+// is the point: a page's miss pattern learned from one core prefetches
+// for the others.
+type Pickle struct {
+	entries [pickleEntries]pickleEntry
+	// Issued counts candidates generated (for stats/tests).
+	Issued int64
+}
+
+// NewPickle returns an empty prefetcher.
+func NewPickle() *Pickle { return &Pickle{} }
+
+// Name implements Prefetcher.
+func (p *Pickle) Name() string { return "pickle" }
+
+// OnAccess implements Prefetcher; the caller feeds it LLC demand
+// misses from all cores.
+func (p *Pickle) OnAccess(ai mem.AccessInfo, buf []mem.BlockAddr) []mem.BlockAddr {
+	blk := ai.Blk
+	page := blk.Page()
+	off := int16(uint64(blk) % blocksPerPage)
+	e := &p.entries[uint64(page)%pickleEntries]
+	if !e.valid || e.page != page {
+		*e = pickleEntry{page: page, lastBlk: off, valid: true}
+		return buf
+	}
+	delta := off - e.lastBlk
+	if delta == 0 {
+		return buf
+	}
+	p.learn(e, delta)
+	e.lastBlk = off
+
+	// Issue the confident deltas from the current position, page-bounded.
+	issued := 0
+	for i := range e.deltas {
+		d := &e.deltas[i]
+		if d.conf < pickleIssueConf {
+			continue
+		}
+		next := off + d.delta
+		if next < 0 || next >= int16(blocksPerPage) {
+			continue // do not cross pages
+		}
+		buf = append(buf, mem.BlockAddr(uint64(page)*blocksPerPage+uint64(next)))
+		p.Issued++
+		if issued++; issued >= pickleDegree {
+			break
+		}
+	}
+	return buf
+}
+
+// learn bumps the confidence of delta in e, replacing the weakest way
+// when it is new.
+func (p *Pickle) learn(e *pickleEntry, delta int16) {
+	for i := range e.deltas {
+		if e.deltas[i].conf > 0 && e.deltas[i].delta == delta {
+			if e.deltas[i].conf < pickleConfMax {
+				e.deltas[i].conf++
+			}
+			return
+		}
+	}
+	weakest := 0
+	for i := 1; i < pickleWays; i++ {
+		if e.deltas[i].conf < e.deltas[weakest].conf {
+			weakest = i
+		}
+	}
+	e.deltas[weakest] = pickleDelta{delta: delta, conf: 1}
+}

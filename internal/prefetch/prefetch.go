@@ -16,9 +16,11 @@ import (
 type Prefetcher interface {
 	// Name identifies the prefetcher in stats output.
 	Name() string
-	// OnAccess observes a demand access to blk (hit says whether it hit
-	// the attached cache) and appends prefetch candidates to buf.
-	OnAccess(blk mem.BlockAddr, hit bool, buf []mem.BlockAddr) []mem.BlockAddr
+	// OnAccess observes a demand access (ai carries the block plus
+	// whatever context the call site has: PC, hit/miss at the attached
+	// level, requesting core, value peek) and appends prefetch
+	// candidates to buf.
+	OnAccess(ai mem.AccessInfo, buf []mem.BlockAddr) []mem.BlockAddr
 }
 
 // None is the absent prefetcher.
@@ -28,7 +30,7 @@ type None struct{}
 func (None) Name() string { return "none" }
 
 // OnAccess implements Prefetcher.
-func (None) OnAccess(_ mem.BlockAddr, _ bool, buf []mem.BlockAddr) []mem.BlockAddr { return buf }
+func (None) OnAccess(_ mem.AccessInfo, buf []mem.BlockAddr) []mem.BlockAddr { return buf }
 
 // NextLine prefetches block N+1 on every demand access to block N, the
 // classic L1 next-line prefetcher of Table I.
@@ -38,8 +40,8 @@ type NextLine struct{}
 func (NextLine) Name() string { return "next-line" }
 
 // OnAccess implements Prefetcher.
-func (NextLine) OnAccess(blk mem.BlockAddr, _ bool, buf []mem.BlockAddr) []mem.BlockAddr {
-	return append(buf, blk+1)
+func (NextLine) OnAccess(ai mem.AccessInfo, buf []mem.BlockAddr) []mem.BlockAddr {
+	return append(buf, ai.Blk+1)
 }
 
 // SPP parameters (compile-time constants matching the MICRO'16 design
@@ -149,7 +151,8 @@ func (s *SPP) best(sig uint16) (delta int16, confPct int, ok bool) {
 }
 
 // OnAccess implements Prefetcher.
-func (s *SPP) OnAccess(blk mem.BlockAddr, _ bool, buf []mem.BlockAddr) []mem.BlockAddr {
+func (s *SPP) OnAccess(ai mem.AccessInfo, buf []mem.BlockAddr) []mem.BlockAddr {
+	blk := ai.Blk
 	page := blk.Page()
 	offset := int16(uint64(blk) % blocksPerPage)
 	st := &s.st[uint64(page)%sppSTEntries]

@@ -7,9 +7,12 @@ import (
 	"graphmem/internal/mem"
 )
 
+// at builds the minimal AccessInfo most tests need: a bare block access.
+func at(blk mem.BlockAddr) mem.AccessInfo { return mem.AccessInfo{Blk: blk} }
+
 func TestNoneGeneratesNothing(t *testing.T) {
 	var p None
-	if got := p.OnAccess(123, false, nil); len(got) != 0 {
+	if got := p.OnAccess(at(123), nil); len(got) != 0 {
 		t.Errorf("None generated %v", got)
 	}
 	if p.Name() != "none" {
@@ -19,14 +22,14 @@ func TestNoneGeneratesNothing(t *testing.T) {
 
 func TestNextLine(t *testing.T) {
 	var p NextLine
-	got := p.OnAccess(100, true, nil)
+	got := p.OnAccess(at(100), nil)
 	if len(got) != 1 || got[0] != 101 {
 		t.Errorf("NextLine = %v, want [101]", got)
 	}
 	// Buffer reuse appends.
 	buf := make([]mem.BlockAddr, 0, 4)
-	buf = p.OnAccess(5, false, buf)
-	buf = p.OnAccess(9, false, buf)
+	buf = p.OnAccess(at(5), buf)
+	buf = p.OnAccess(at(9), buf)
 	if len(buf) != 2 || buf[0] != 6 || buf[1] != 10 {
 		t.Errorf("buf = %v", buf)
 	}
@@ -38,14 +41,14 @@ func TestSPPLearnsUnitStride(t *testing.T) {
 	base := mem.BlockAddr(1 << 20)
 	issued := 0
 	for i := 0; i < 60; i++ {
-		buf = s.OnAccess(base+mem.BlockAddr(i), false, buf[:0])
+		buf = s.OnAccess(at(base+mem.BlockAddr(i)), buf[:0])
 		issued += len(buf)
 	}
 	if issued == 0 {
 		t.Fatal("SPP never issued on a unit-stride stream")
 	}
 	// Continuing the stride, the predictor must predict blk+1 first.
-	buf = s.OnAccess(base+60, false, buf[:0])
+	buf = s.OnAccess(at(base+60), buf[:0])
 	if len(buf) == 0 || buf[0] != base+61 {
 		t.Errorf("warmed SPP on unit stride gave %v, want first candidate %d", buf, base+61)
 	}
@@ -56,9 +59,9 @@ func TestSPPLearnsStrideOfTwo(t *testing.T) {
 	var buf []mem.BlockAddr
 	base := mem.BlockAddr(1 << 21)
 	for i := 0; i < 30; i++ {
-		buf = s.OnAccess(base+mem.BlockAddr(2*i), false, buf[:0])
+		buf = s.OnAccess(at(base+mem.BlockAddr(2*i)), buf[:0])
 	}
-	buf = s.OnAccess(base+60, false, buf[:0])
+	buf = s.OnAccess(at(base+60), buf[:0])
 	if len(buf) == 0 || buf[0] != base+62 {
 		t.Errorf("stride-2 prediction = %v, want first %d", buf, base+62)
 	}
@@ -72,10 +75,10 @@ func TestSPPLookaheadDepth(t *testing.T) {
 	// multi-step lookahead.
 	for rep := 0; rep < 8; rep++ {
 		for i := 0; i < 60; i++ {
-			buf = s.OnAccess(base+mem.BlockAddr(i), false, buf[:0])
+			buf = s.OnAccess(at(base+mem.BlockAddr(i)), buf[:0])
 		}
 	}
-	buf = s.OnAccess(base+60, false, buf[:0])
+	buf = s.OnAccess(at(base+60), buf[:0])
 	if len(buf) < 2 {
 		t.Errorf("lookahead depth %d, want >= 2 after heavy training", len(buf))
 	}
@@ -93,12 +96,12 @@ func TestSPPStopsAtPageBoundary(t *testing.T) {
 	base := mem.BlockAddr(1 << 22)
 	for rep := 0; rep < 8; rep++ {
 		for i := 0; i < 64; i++ {
-			buf = s.OnAccess(base+mem.BlockAddr(i), false, buf[:0])
+			buf = s.OnAccess(at(base+mem.BlockAddr(i)), buf[:0])
 		}
 	}
 	// Access the last block of the page: no candidate may cross.
 	last := base + 63
-	buf = s.OnAccess(last, false, buf[:0])
+	buf = s.OnAccess(at(last), buf[:0])
 	for _, c := range buf {
 		if c.Page() != last.Page() {
 			t.Errorf("candidate %d crosses page boundary", c)
@@ -114,7 +117,7 @@ func TestSPPRandomStreamIsQuiet(t *testing.T) {
 	n := 2000
 	for i := 0; i < n; i++ {
 		blk := mem.BlockAddr(r.Uint64() % (1 << 30))
-		buf = s.OnAccess(blk, false, buf[:0])
+		buf = s.OnAccess(at(blk), buf[:0])
 		issued += len(buf)
 	}
 	// A random stream must generate far fewer candidates than a
@@ -134,10 +137,10 @@ func TestSPPSeparatePagesSeparateHistory(t *testing.T) {
 	// Interleave two unit-stride streams on different pages; both must
 	// still train (the ST tracks pages independently).
 	for i := 0; i < 50; i++ {
-		s.OnAccess(a+mem.BlockAddr(i), false, buf[:0])
-		s.OnAccess(b+mem.BlockAddr(i), false, buf[:0])
+		s.OnAccess(at(a+mem.BlockAddr(i)), buf[:0])
+		s.OnAccess(at(b+mem.BlockAddr(i)), buf[:0])
 	}
-	got := s.OnAccess(a+50, false, buf[:0])
+	got := s.OnAccess(at(a+50), buf[:0])
 	if len(got) == 0 || got[0] != a+51 {
 		t.Errorf("interleaved stream A prediction = %v", got)
 	}

@@ -1,0 +1,79 @@
+package prefetch
+
+import (
+	"graphmem/internal/mem"
+)
+
+// Stride parameters: a small PC-keyed table, two confirmations before
+// issuing, and a modest degree so the strawman is competitive on the
+// regular streams without flooding the L2.
+const (
+	strideEntries   = 64
+	strideIssueConf = 2
+	strideDegree    = 4
+	strideConfMax   = 255
+)
+
+type strideEntry struct {
+	pc      uint64
+	lastBlk mem.BlockAddr
+	stride  int64 // in blocks
+	conf    uint8
+	valid   bool
+}
+
+// Stride is the conventional strawman: a PC-keyed stride detector at
+// the L2. Each load site gets a table entry tracking its last block and
+// block-stride; after strideIssueConf consecutive confirmations the
+// next strideDegree blocks along the stride are issued, stopping at the
+// page boundary (a physical prefetcher cannot cross pages).
+type Stride struct {
+	entries [strideEntries]strideEntry
+	// Issued counts candidates generated (for stats/tests).
+	Issued int64
+}
+
+// NewStride returns an empty detector.
+func NewStride() *Stride { return &Stride{} }
+
+// Name implements Prefetcher.
+func (s *Stride) Name() string { return "stride" }
+
+// OnAccess implements Prefetcher.
+func (s *Stride) OnAccess(ai mem.AccessInfo, buf []mem.BlockAddr) []mem.BlockAddr {
+	if ai.PC == 0 {
+		// No PC to key on (functional warming): nothing to learn.
+		return buf
+	}
+	e := &s.entries[(ai.PC>>3)%strideEntries]
+	if !e.valid || e.pc != ai.PC {
+		*e = strideEntry{pc: ai.PC, lastBlk: ai.Blk, valid: true}
+		return buf
+	}
+	d := int64(ai.Blk) - int64(e.lastBlk)
+	if d == 0 {
+		return buf // same block: no new information
+	}
+	if d == e.stride {
+		if e.conf < strideConfMax {
+			e.conf++
+		}
+	} else {
+		e.stride = d
+		e.conf = 1
+	}
+	e.lastBlk = ai.Blk
+	if e.conf < strideIssueConf {
+		return buf
+	}
+	page := ai.Blk.Page()
+	for k := int64(1); k <= strideDegree; k++ {
+		cand := mem.BlockAddr(int64(ai.Blk) + k*d)
+		if cand.Page() != page {
+			break // do not cross pages
+		}
+		buf = append(buf, cand)
+		s.Issued++
+	}
+	return buf
+}

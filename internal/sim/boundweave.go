@@ -233,6 +233,20 @@ func (eng *bwEngine) shardDRAMWrite(blk mem.BlockAddr, ver uint64) {
 	}
 }
 
+// shardDRAMRead reads the architectural DRAM version from the owning
+// core's oracle shard (pickle prefetch fills need it for SetVer).
+func (eng *bwEngine) shardDRAMRead(blk mem.BlockAddr) uint64 {
+	if eng.sys.chk == nil {
+		return 0
+	}
+	if o := blockOwner(blk); o < len(eng.sys.cores) {
+		if k := eng.sys.cores[o].chk; k != nil {
+			return k.DRAMRead(blk)
+		}
+	}
+	return 0
+}
+
 // deferEvict buffers an SDCDir capacity eviction raised during replay.
 func (eng *bwEngine) deferEvict(blk mem.BlockAddr, sharers uint64) {
 	eng.deferred = append(eng.deferred, bwDeferredEvict{blk: blk, sharers: sharers})
@@ -490,7 +504,55 @@ func (eng *bwEngine) replayLLCRead(e *bwEvent) int64 {
 	if m := s.llc.MSHR(); m != nil {
 		m.Complete(e.blk, ready)
 	}
+
+	// Cross-core LLC prefetcher (the "pickle" preset): under
+	// bound–weave it observes demand misses here, during the serial
+	// (t,core,seq)-ordered replay, so training and issue order — and
+	// with them the LLC contents — are independent of -wj.
+	if s.llcpf != nil && e.flag&(bwFPf|bwFXfer) == 0 {
+		s.llcPfBuf = s.llcpf.OnAccess(mem.AccessInfo{Blk: e.blk, Addr: e.addr, Core: int(e.core)}, s.llcPfBuf[:0])
+		for _, cand := range s.llcPfBuf {
+			eng.llcPrefetch(cand, t)
+		}
+	}
 	return ready
+}
+
+// llcPrefetch fetches a pickle candidate into the shared LLC during the
+// serial weave replay, mirroring the legacy engine's llcPrefetch with
+// the oracle traffic routed to the owning core's shard.
+func (eng *bwEngine) llcPrefetch(blk mem.BlockAddr, t int64) {
+	s := eng.sys
+	if s.cores[0].anyCacheHolds(blk) {
+		return
+	}
+	if s.sdcDir != nil {
+		if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers != 0 {
+			return
+		}
+	}
+	if m := s.llc.MSHR(); m != nil {
+		if _, inflight := m.Lookup(blk, t); inflight {
+			return
+		}
+		if m.Outstanding(t) >= m.Capacity() {
+			return
+		}
+		m.Allocate(blk, t)
+	}
+	ready := s.dram.Access(blk, false, t)
+	v := s.llc.Fill(blk, blk.Addr(), mem.BlockSize, false, true, ready)
+	s.llc.MarkPrefetchFill()
+	if s.chk != nil {
+		s.llc.SetVer(blk, eng.shardDRAMRead(blk))
+	}
+	if v.Valid && v.Dirty {
+		s.dram.Access(v.Blk, true, ready)
+		eng.shardDRAMWrite(v.Blk, v.Ver)
+	}
+	if m := s.llc.MSHR(); m != nil {
+		m.Complete(blk, ready)
+	}
 }
 
 // replayLLCBypass replays a bypass-path access: a real lookup against

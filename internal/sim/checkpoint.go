@@ -134,5 +134,13 @@ func warmKey(cfg Config, workload string) string {
 		cfg.DRAM, cfg.DRAMChannels,
 		cfg.NoPrefetch, cfg.Warmup, cfg.Sampling.MisWarm,
 	)
+	// The prefetcher preset shapes the warm state (which prefetchers
+	// filled what); it extends the key only when non-default so every
+	// existing checkpoint address survives. BranchMissPenalty is
+	// timing-only and deliberately absent: all penalty sweeps share one
+	// warm-up.
+	if cfg.Prefetchers != "" {
+		conf += "|pfset" + cfg.Prefetchers
+	}
 	return sample.Key(workload, conf)
 }

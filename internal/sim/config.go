@@ -102,6 +102,22 @@ type Config struct {
 	// NoPrefetch disables every hardware prefetcher (ablation).
 	NoPrefetch bool
 
+	// Prefetchers selects a named prefetcher preset for the competitive
+	// baseline suite: "" (the default, Table I's next-line + SPP),
+	// "none", "nextline", "spp" (the default wiring, spelled out),
+	// "stride" (PC-keyed stride detector at the L2), "imp"
+	// (indirect-memory prefetcher on the demand-load stream), "pickle"
+	// (cross-core LLC prefetcher) or "spp+imp". NoPrefetch wins when
+	// both are set. Unknown names panic in NewSystem.
+	Prefetchers string
+
+	// BranchMissPenalty, when positive, injects pipeline-refill stalls
+	// of that many cycles on a pseudo-random ~1/32 of trace records,
+	// modeling branch mispredictions on data-dependent graph branches
+	// (sensitivity knob; see cpu.Config.BranchMissPenalty). Zero — the
+	// default, matching Table I — changes nothing.
+	BranchMissPenalty int64
+
 	// VictimEntries, when positive, attaches a fully-associative
 	// victim cache (Jouppi) of that many lines beside the L1D — the
 	// conflict-miss-oriented related-work design of Section VI.
@@ -468,6 +484,33 @@ func (c Config) WithVictimCache(entries int) Config {
 func (c Config) WithoutPrefetchers() Config {
 	c.Name += " noPF"
 	c.NoPrefetch = true
+	return c
+}
+
+// ValidPrefetchers reports whether preset names a known prefetcher
+// preset ("" — the default wiring — counts). NewSystem panics on
+// anything else; CLI flag parsing uses this to fail politely first.
+func ValidPrefetchers(preset string) bool {
+	switch preset {
+	case "", "none", "nextline", "spp", "stride", "imp", "pickle", "spp+imp":
+		return true
+	}
+	return false
+}
+
+// WithPrefetchers returns a copy running the named prefetcher preset
+// (see Config.Prefetchers). The Name is unchanged — presets are a swept
+// axis, keyed in memo/store keys by a |pf<preset> segment instead.
+func (c Config) WithPrefetchers(preset string) Config {
+	c.Prefetchers = preset
+	return c
+}
+
+// WithBranchMissPenalty returns a copy injecting branch-misprediction
+// stalls of the given refill depth. The Name is unchanged — the penalty
+// is a swept sensitivity axis, keyed by a |bp<n> memo segment.
+func (c Config) WithBranchMissPenalty(cycles int64) Config {
+	c.BranchMissPenalty = cycles
 	return c
 }
 

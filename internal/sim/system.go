@@ -51,6 +51,15 @@ type System struct {
 	// domain paths consult it to defer their side effects to the weave.
 	bw *bwEngine
 
+	// llcpf is the shared cross-core LLC prefetcher (the "pickle"
+	// preset), nil otherwise. It observes demand misses from every core
+	// at the LLC. Both engines touch it only from serial code — the
+	// legacy multi-core engine interleaves cores on one goroutine, and
+	// the bound–weave engine trains/issues during the serial weave
+	// replay — so one shared scratch buffer is safe.
+	llcpf    prefetch.Prefetcher
+	llcPfBuf []mem.BlockAddr
+
 	// warming is true while the sampling engine is functionally warming
 	// (never set for unsampled runs): shared-state callbacks that issue
 	// timed DRAM traffic (onSDCDirEvict) switch to warm row touches.
@@ -79,7 +88,8 @@ type coreCtx struct {
 	tlbs    *tlb.Hierarchy
 	l1pf    prefetch.Prefetcher
 	sdcpf   prefetch.Prefetcher
-	l2pf    *prefetch.SPP
+	l2pf    prefetch.Prefetcher
+	imppf   prefetch.Prefetcher // indirect-memory prefetcher, nil unless preset enables it
 	oracle  cache.NextUseOracle
 	irreg   []*mem.Region
 	noSPP   bool
@@ -303,12 +313,42 @@ func NewSystem(cfg Config, ws []Workload) *System {
 				c.lp = corepkg.NewLP(cfg.LP)
 			}
 		}
+		// Prefetcher wiring: the default is Table I's (next-line at the
+		// L1D/SDC, SPP at the L2); cfg.Prefetchers swaps in one of the
+		// competitive baseline presets, and cfg.NoPrefetch (the
+		// historical knob) still forces everything off.
 		c.l1pf = prefetch.NextLine{}
 		c.l2pf = prefetch.NewSPP()
+		switch cfg.Prefetchers {
+		case "", "spp":
+			// Default Table I wiring.
+		case "none":
+			c.l1pf = prefetch.None{}
+			c.sdcpf = prefetch.None{}
+			c.noSPP = true
+		case "nextline":
+			c.noSPP = true
+		case "stride":
+			c.l2pf = prefetch.NewStride()
+		case "imp":
+			c.noSPP = true
+			c.imppf = prefetch.NewIMP()
+		case "pickle":
+			c.noSPP = true
+			if s.llcpf == nil {
+				s.llcpf = prefetch.NewPickle()
+			}
+		case "spp+imp":
+			c.imppf = prefetch.NewIMP()
+		default:
+			panic(fmt.Sprintf("sim: unknown prefetcher preset %q", cfg.Prefetchers))
+		}
 		if cfg.NoPrefetch {
 			c.l1pf = prefetch.None{}
 			c.sdcpf = prefetch.None{}
 			c.noSPP = true
+			c.imppf = nil
+			s.llcpf = nil
 		}
 		ptBase := mem.Addr(uint64(i)<<mem.CoreSpaceBits) + ptOffset
 		cc := c
@@ -323,8 +363,12 @@ func NewSystem(cfg Config, ws []Workload) *System {
 				cc.warmL2(addr.Block(), addr, 8)
 			}
 		}
-		c.cpuCore = cpu.New(cfg.CPU, func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
-			return cc.access(pc, addr, size, write, issue)
+		cpuCfg := cfg.CPU
+		if cfg.BranchMissPenalty > 0 {
+			cpuCfg.BranchMissPenalty = cfg.BranchMissPenalty
+		}
+		c.cpuCore = cpu.New(cpuCfg, func(pc uint64, addr mem.Addr, size uint8, write bool, issue int64, hint mem.ValueHint) mem.Response {
+			return cc.access(pc, addr, size, write, issue, hint)
 		})
 		if ws[i].Inst != nil {
 			c.irreg = ws[i].Inst.IrregularRegions()
@@ -396,12 +440,23 @@ func (c *coreCtx) isIrregular(addr mem.Addr) bool {
 }
 
 // access is the core-side entry point for every demand memory access.
-func (c *coreCtx) access(pc uint64, addr mem.Addr, size uint8, write bool, issue int64) mem.Response {
+func (c *coreCtx) access(pc uint64, addr mem.Addr, size uint8, write bool, issue int64, hint mem.ValueHint) mem.Response {
 	blk := addr.Block()
-	if c.chk != nil {
-		// Stash the PC for oracle provenance; the routing paths keep
-		// their test-pinned signatures.
-		c.curPC = pc
+	// Stash the PC for oracle provenance and for PC-keyed prefetchers;
+	// the routing paths keep their test-pinned signatures.
+	c.curPC = pc
+
+	// The indirect-memory prefetcher observes every demand load —
+	// including L1 hits, since the index stream it trains on is usually
+	// cache-resident — and issues its gather prefetches at the index
+	// load's issue point, through the L1 prefetch path. Issuing here
+	// (rather than after the dependent gather misses) is what hides the
+	// dependent-load serialization IMP targets.
+	if c.imppf != nil && !write {
+		c.pfBuf = c.imppf.OnAccess(mem.AccessInfo{PC: pc, Addr: addr, Blk: blk, Core: c.id, ValueHint: hint}, c.pfBuf[:0])
+		for _, cand := range c.pfBuf {
+			c.l1Prefetch(cand, issue)
+		}
 	}
 
 	// Address translation proceeds in parallel with the (VIPT) L1D/SDC
@@ -613,7 +668,7 @@ func (c *coreCtx) sdcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write 
 	// else holds, to keep coherence simple. Prefetches launch at the
 	// demand's issue point, not its completion, so they never reserve
 	// bank/bus time in the future of younger demand requests.
-	c.pfBuf = c.sdcpf.OnAccess(blk, false, c.pfBuf[:0])
+	c.pfBuf = c.sdcpf.OnAccess(mem.AccessInfo{PC: c.curPC, Addr: addr, Blk: blk, Core: c.id}, c.pfBuf[:0])
 	for _, cand := range c.pfBuf {
 		c.sdcPrefetch(cand, t)
 	}
@@ -1018,7 +1073,7 @@ func (c *coreCtx) l1Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write b
 	// Next-line prefetcher (Table I: attached to the L1D), degree 1,
 	// triggered on demand misses; the prefetch walks the hierarchy
 	// without stalling the core.
-	c.pfBuf = c.l1pf.OnAccess(blk, false, c.pfBuf[:0])
+	c.pfBuf = c.l1pf.OnAccess(mem.AccessInfo{PC: c.curPC, Addr: addr, Blk: blk, Core: c.id}, c.pfBuf[:0])
 	for _, cand := range c.pfBuf {
 		c.l1Prefetch(cand, t)
 	}
@@ -1091,7 +1146,7 @@ func (c *coreCtx) l2Access(blk mem.BlockAddr, addr mem.Addr, size uint8, write, 
 	// prefetches into the L2 (prefetch traffic does not re-train it).
 	cands := c.sppBuf[:0]
 	if !pf && !c.noSPP {
-		c.pfBuf = c.l2pf.OnAccess(blk, res.Hit, c.pfBuf[:0])
+		c.pfBuf = c.l2pf.OnAccess(mem.AccessInfo{PC: c.curPC, Addr: addr, Blk: blk, Hit: res.Hit, Core: c.id}, c.pfBuf[:0])
 		cands = append(cands, c.pfBuf...)
 	}
 	c.sppBuf = cands
@@ -1293,7 +1348,61 @@ func (c *coreCtx) llcAccess(blk mem.BlockAddr, addr mem.Addr, size uint8, write,
 	if m := s.llc.MSHR(); m != nil {
 		m.Complete(blk, ready)
 	}
+
+	// Cross-core LLC prefetcher (the "pickle" preset): it observes the
+	// demand-miss stream of every core right here and issues precise
+	// prefetches into the shared level. Its fills recurse into
+	// chk.DRAMRead and clobber verScratch, so the demand's delivered
+	// version is restored for the caller.
+	if s.llcpf != nil && !pf {
+		s.llcPfBuf = s.llcpf.OnAccess(mem.AccessInfo{PC: c.curPC, Addr: addr, Blk: blk, Core: c.id}, s.llcPfBuf[:0])
+		dv := c.verScratch
+		for _, cand := range s.llcPfBuf {
+			c.llcPrefetch(cand, t)
+		}
+		c.verScratch = dv
+	}
 	return mem.Response{Ready: ready, Source: src}
+}
+
+// llcPrefetch fetches a cross-core candidate into the shared LLC. The
+// block must be absent from the whole hierarchy (a shared-level fill
+// above a private dirty copy would shadow it in lookup order) and from
+// every SDC (the SDCDir owns those blocks).
+func (c *coreCtx) llcPrefetch(blk mem.BlockAddr, now int64) {
+	s := c.sys
+	if c.anyCacheHolds(blk) {
+		return
+	}
+	if s.sdcDir != nil {
+		if sharers, _, ok := s.sdcDir.Lookup(blk); ok && sharers != 0 {
+			return
+		}
+	}
+	if m := s.llc.MSHR(); m != nil {
+		if _, inflight := m.Lookup(blk, now); inflight {
+			return
+		}
+		if m.Outstanding(now) >= m.Capacity() {
+			return
+		}
+		m.Allocate(blk, now)
+	}
+	ready := s.dram.Access(blk, false, now)
+	v := s.llc.Fill(blk, blk.Addr(), mem.BlockSize, false, true, ready)
+	s.llc.MarkPrefetchFill()
+	if c.chk != nil {
+		s.llc.SetVer(blk, c.chk.DRAMRead(blk))
+	}
+	if v.Valid && v.Dirty {
+		s.dram.Access(v.Blk, true, ready)
+		if c.chk != nil {
+			c.chk.DRAMWrite(v.Blk, v.Ver)
+		}
+	}
+	if m := s.llc.MSHR(); m != nil {
+		m.Complete(blk, ready)
+	}
 }
 
 // CheckInvariants runs one structural invariant sweep over every cache

@@ -127,7 +127,7 @@ func (c *coreCtx) warmSDC(blk mem.BlockAddr, addr mem.Addr, size uint8, write bo
 	// issues one (a miss served from DRAM). Skipping prefetchers during
 	// warming would leave the SDC tags systematically short of the
 	// next-line content every sample starts from.
-	c.pfBuf = c.sdcpf.OnAccess(blk, false, c.pfBuf[:0])
+	c.pfBuf = c.sdcpf.OnAccess(mem.AccessInfo{Blk: blk, Addr: addr, Core: c.id}, c.pfBuf[:0])
 	for _, cand := range c.pfBuf {
 		c.warmSDCPrefetch(cand)
 	}
@@ -189,7 +189,7 @@ func (c *coreCtx) warmL1(blk mem.BlockAddr, addr mem.Addr, size uint8, write boo
 	c.warmL2(blk, addr, size)
 	c.warmFillL1(blk, addr, size, write)
 	// Next-line prefetcher on the demand miss, as in l1Access.
-	c.pfBuf = c.l1pf.OnAccess(blk, false, c.pfBuf[:0])
+	c.pfBuf = c.l1pf.OnAccess(mem.AccessInfo{Blk: blk, Addr: addr, Core: c.id}, c.pfBuf[:0])
 	for _, cand := range c.pfBuf {
 		c.warmL1Prefetch(cand)
 	}
